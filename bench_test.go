@@ -1,0 +1,475 @@
+package repro
+
+// One benchmark per table/figure of the paper, plus the ablation benches
+// called out in DESIGN.md and micro-benchmarks of the hot substrates.
+//
+// Figure/table benches run reduced-scale versions of the full
+// reproduction (fewer topologies, shorter simulated time) so the suite
+// stays minutes-fast; cmd/experiments regenerates the full-scale
+// artifacts. Each bench reports domain-specific metrics (Kb/s, ms,
+// ratios) via b.ReportMetric so a bench run doubles as a results table.
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/experiments"
+	"repro/internal/geom"
+	"repro/internal/numeric"
+	"repro/internal/phy"
+)
+
+// benchSim is the reduced standard cell used by the figure benches.
+func benchSim(scheme core.Scheme, n int, beamDeg float64) experiments.SimConfig {
+	return experiments.SimConfig{
+		Scheme:       scheme,
+		BeamwidthDeg: beamDeg,
+		N:            n,
+		Seed:         1,
+		Duration:     500 * des.Millisecond,
+	}
+}
+
+// BenchmarkTable1 regenerates the protocol-parameter table (a pure
+// formatting path; it exists so every paper artifact has a bench target).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.WriteTable1(io.Discard)
+	}
+}
+
+// BenchmarkFig5 regenerates the analytical maximum-throughput-vs-
+// beamwidth curves (all three schemes, N = 3, 5, 8).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig5([]float64{3, 5, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.Fig5Shape(rows); err != nil {
+			b.Fatalf("published shape violated: %v", err)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates one reduced throughput-comparison cell per
+// scheme (N=8, θ=30°, the paper's clearest separation).
+func BenchmarkFig6(b *testing.B) {
+	for _, s := range core.Schemes() {
+		b.Run(s.String(), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunSim(benchSim(s, 8, 30))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.MeanThroughputBps()
+			}
+			b.ReportMetric(last/1000, "Kbps/node")
+		})
+	}
+}
+
+// BenchmarkFig7 regenerates one reduced delay-comparison cell per scheme.
+func BenchmarkFig7(b *testing.B) {
+	for _, s := range core.Schemes() {
+		b.Run(s.String(), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunSim(benchSim(s, 8, 30))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.MeanDelaySec()
+			}
+			b.ReportMetric(last*1000, "ms-delay")
+		})
+	}
+}
+
+// BenchmarkCollisionRatio regenerates the Section 4 collision statistics
+// (omitted from the paper for space): directional schemes trade a higher
+// data-phase collision rate for spatial reuse.
+func BenchmarkCollisionRatio(b *testing.B) {
+	for _, s := range core.Schemes() {
+		b.Run(s.String(), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunSim(benchSim(s, 8, 30))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.MeanCollisionRatio()
+			}
+			b.ReportMetric(last, "collision-ratio")
+		})
+	}
+}
+
+// BenchmarkFairness regenerates the Section 4 fairness observations: BEB
+// unfairness worsens with wider beams.
+func BenchmarkFairness(b *testing.B) {
+	for _, beam := range []float64{30, 150} {
+		b.Run(map[float64]string{30: "narrow30", 150: "wide150"}[beam], func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunSim(benchSim(core.DRTSDCTS, 5, beam))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.Jain
+			}
+			b.ReportMetric(last, "jain")
+		})
+	}
+}
+
+// BenchmarkLoadSweep regenerates one point of the offered-load study
+// (extension experiment): delivered throughput under a 100 Kb/s per-node
+// CBR load.
+func BenchmarkLoadSweep(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchSim(core.DRTSDCTS, 5, 30)
+		cfg.OfferedLoadBps = 100_000
+		res, err := experiments.RunSim(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.MeanThroughputBps()
+	}
+	b.ReportMetric(last/1000, "Kbps/node")
+}
+
+// BenchmarkAblationBasicAccess quantifies what RTS/CTS buys in the
+// paper's multihop setting by comparing against the no-handshake
+// baseline.
+func BenchmarkAblationBasicAccess(b *testing.B) {
+	for _, basic := range []bool{false, true} {
+		name := "rts-cts"
+		if basic {
+			name = "basic-access"
+		}
+		b.Run(name, func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchSim(core.ORTSOCTS, 8, 0)
+				cfg.BasicAccess = basic
+				res, err := experiments.RunSim(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.MeanThroughputBps()
+			}
+			b.ReportMetric(last/1000, "Kbps/node")
+		})
+	}
+}
+
+// BenchmarkAblationCapture compares the paper's no-capture receiver with
+// first-signal capture: the scheme comparison must not hinge on the
+// collision model's pessimism.
+func BenchmarkAblationCapture(b *testing.B) {
+	for _, capture := range []bool{false, true} {
+		name := "paper-nocapture"
+		if capture {
+			name = "capture"
+		}
+		b.Run(name, func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchSim(core.DRTSDCTS, 8, 30)
+				cfg.Capture = capture
+				res, err := experiments.RunSim(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.MeanThroughputBps()
+			}
+			b.ReportMetric(last/1000, "Kbps/node")
+		})
+	}
+}
+
+// BenchmarkAblationOracleNAV separates the reduced-waiting effect from
+// pure spatial reuse: the oracle makes out-of-beam neighbors defer as if
+// transmissions were omni-directional.
+func BenchmarkAblationOracleNAV(b *testing.B) {
+	for _, oracle := range []bool{false, true} {
+		name := "paper-heardonly"
+		if oracle {
+			name = "oracle"
+		}
+		b.Run(name, func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchSim(core.DRTSDCTS, 8, 30)
+				cfg.NAVOracle = oracle
+				res, err := experiments.RunSim(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.MeanThroughputBps()
+			}
+			b.ReportMetric(last/1000, "Kbps/node")
+		})
+	}
+}
+
+// BenchmarkAblationEIFS measures the effect of extended-IFS deference
+// after frame errors.
+func BenchmarkAblationEIFS(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "eifs-on"
+		if disable {
+			name = "eifs-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchSim(core.ORTSOCTS, 8, 0)
+				cfg.DisableEIFS = disable
+				res, err := experiments.RunSim(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.MeanThroughputBps()
+			}
+			b.ReportMetric(last/1000, "Kbps/node")
+		})
+	}
+}
+
+// BenchmarkAblationTfail compares the analytical model's truncated-
+// geometric failed-period length against the worst-case (full handshake)
+// assumption.
+func BenchmarkAblationTfail(b *testing.B) {
+	pr := core.Params{N: 5, Beamwidth: math.Pi / 6, Lengths: core.PaperLengths()}
+	b.Run("truncgeom", func(b *testing.B) {
+		var last float64
+		for i := 0; i < b.N; i++ {
+			_, th, err := core.MaxThroughput(core.DRTSDCTS, pr, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = th
+		}
+		b.ReportMetric(last, "max-throughput")
+	})
+	b.Run("worstcase", func(b *testing.B) {
+		// Recompute throughput with T_fail pinned to a full handshake.
+		tsucc := float64(pr.Lengths.Succeed())
+		worst := func(p float64) float64 {
+			st, err := core.Solve(core.DRTSDCTS, p, pr)
+			if err != nil {
+				return math.Inf(-1)
+			}
+			return st.Ps * float64(pr.Lengths.Data) / (st.Pw + st.Ps*tsucc + st.Pf*tsucc)
+		}
+		var last float64
+		for i := 0; i < b.N; i++ {
+			_, th, err := numeric.MaximizeHybrid(worst, 1e-6, 0.5, 64, 1e-9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = th
+		}
+		b.ReportMetric(last, "max-throughput")
+	})
+}
+
+// BenchmarkAblationOptimizer compares golden-section refinement against
+// pure grid search for the max-throughput solve.
+func BenchmarkAblationOptimizer(b *testing.B) {
+	pr := core.Params{N: 5, Beamwidth: math.Pi / 6, Lengths: core.PaperLengths()}
+	f := func(p float64) float64 {
+		th, err := core.Throughput(core.DRTSDCTS, p, pr)
+		if err != nil {
+			return math.Inf(-1)
+		}
+		return th
+	}
+	b.Run("hybrid-golden", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := numeric.MaximizeHybrid(f, 1e-6, 0.5, 64, 1e-9); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("grid-4096", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := numeric.MaximizeGrid(f, 1e-6, 0.5, 4096); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkScheduler measures raw event-kernel throughput.
+func BenchmarkScheduler(b *testing.B) {
+	s := des.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(des.Time(i%1000), func() {})
+		if i%1024 == 1023 {
+			s.RunAll()
+		}
+	}
+	s.RunAll()
+}
+
+// BenchmarkChannelBroadcast measures one omni transmission delivered to a
+// dense neighborhood.
+func BenchmarkChannelBroadcast(b *testing.B) {
+	sched := des.New(1)
+	ch, err := phy.NewChannel(sched, phy.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	handlers := make([]discard, 33)
+	tx := ch.AddRadio(geom.Point{}, &handlers[0])
+	for i := 1; i < 33; i++ {
+		ch.AddRadio(geom.Polar(geom.Point{}, 0.9, float64(i)), &handlers[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tx.Transmit(phy.Frame{Type: phy.Data, Bytes: 1460}, phy.Omni); err != nil {
+			b.Fatal(err)
+		}
+		sched.RunAll()
+	}
+}
+
+// BenchmarkAnalyticalThroughput measures one throughput evaluation (one
+// Simpson integral per call).
+func BenchmarkAnalyticalThroughput(b *testing.B) {
+	pr := core.Params{N: 5, Beamwidth: math.Pi / 6, Lengths: core.PaperLengths()}
+	for _, s := range core.Schemes() {
+		b.Run(s.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Throughput(s, 0.02, pr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulationSecond measures the wall cost of one simulated
+// second of the paper's N=5 network.
+func BenchmarkSimulationSecond(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchSim(core.DRTSDCTS, 5, 90)
+		cfg.Duration = des.Second
+		if _, err := experiments.RunSim(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// discard is a no-op PHY handler for micro-benches.
+type discard struct{}
+
+func (discard) OnCarrierBusy()      {}
+func (discard) OnCarrierIdle()      {}
+func (discard) OnFrame(f phy.Frame) {}
+func (discard) OnFrameError()       {}
+func (discard) OnTxDone()           {}
+
+// BenchmarkMobilitySweep regenerates one point of the mobility extension
+// study: fast random-waypoint motion with one-second-stale bearings.
+func BenchmarkMobilitySweep(b *testing.B) {
+	for _, speed := range []float64{0, 0.5} {
+		name := "static"
+		if speed > 0 {
+			name = "speed0.5R"
+		}
+		b.Run(name, func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchSim(core.DRTSDCTS, 5, 30)
+				cfg.MaxSpeed = speed
+				cfg.RefreshInterval = des.Second
+				res, err := experiments.RunSim(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.MeanThroughputBps()
+			}
+			b.ReportMetric(last/1000, "Kbps/node")
+		})
+	}
+}
+
+// BenchmarkAblationSINR compares the paper's pessimistic overlap receiver
+// against the physical SINR receiver (capture by strength + directional
+// gain per footnote 2 of the paper).
+func BenchmarkAblationSINR(b *testing.B) {
+	for _, sinr := range []bool{false, true} {
+		name := "paper-overlap"
+		if sinr {
+			name = "sinr"
+		}
+		b.Run(name, func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchSim(core.DRTSDCTS, 8, 30)
+				cfg.SINR = sinr
+				res, err := experiments.RunSim(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.MeanThroughputBps()
+			}
+			b.ReportMetric(last/1000, "Kbps/node")
+		})
+	}
+}
+
+// BenchmarkModelVsSim regenerates one point of the model-validation
+// study: the analytical and simulated normalized throughput at the
+// paper's clearest configuration.
+func BenchmarkModelVsSim(b *testing.B) {
+	var rho float64
+	for i := 0; i < b.N; i++ {
+		base := experiments.SimConfig{Seed: 1, Duration: 500 * des.Millisecond}
+		rows, err := experiments.ModelVsSim(base, []int{8}, []float64{30}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rho = experiments.SpearmanRank(rows)
+	}
+	b.ReportMetric(rho, "spearman")
+}
+
+// BenchmarkAdaptiveRTS compares plain DRTS-DCTS against the Ko et
+// al.-style adaptive variant (omni RTS fallback on stale bearings plus
+// piggybacked locations) under fast mobility.
+func BenchmarkAdaptiveRTS(b *testing.B) {
+	for _, adaptive := range []bool{false, true} {
+		name := "plain"
+		if adaptive {
+			name = "adaptive"
+		}
+		b.Run(name, func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchSim(core.DRTSDCTS, 5, 30)
+				cfg.MaxSpeed = 1.0
+				cfg.RefreshInterval = des.Second
+				if adaptive {
+					cfg.AdaptiveRTS = 200 * des.Millisecond
+				}
+				res, err := experiments.RunSim(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.MeanThroughputBps()
+			}
+			b.ReportMetric(last/1000, "Kbps/node")
+		})
+	}
+}

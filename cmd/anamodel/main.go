@@ -1,0 +1,110 @@
+// Command anamodel evaluates the paper's analytical model (Section 2/3).
+//
+// With no flags it prints the full Fig. 5 table (maximum achievable
+// throughput versus beamwidth for all three schemes). With -p it
+// evaluates a single operating point instead.
+//
+// Examples:
+//
+//	anamodel                       # Fig. 5 for N = 3, 5, 8
+//	anamodel -n 5 -csv             # Fig. 5 at N=5 as CSV
+//	anamodel -scheme drts-dcts -n 5 -beam 30 -p 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "anamodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("anamodel", flag.ContinueOnError)
+	var (
+		nList      = fs.String("n", "3,5,8", "comma-separated node densities N")
+		schemeName = fs.String("scheme", "", "evaluate a single scheme (ORTS-OCTS, DRTS-DCTS, DRTS-OCTS)")
+		beamDeg    = fs.Float64("beam", 30, "beamwidth in degrees (single-point mode)")
+		p          = fs.Float64("p", 0, "attempt probability; > 0 evaluates one point instead of the Fig. 5 sweep")
+		csv        = fs.Bool("csv", false, "emit CSV instead of a formatted table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseFloats(*nList)
+	if err != nil {
+		return err
+	}
+
+	if *p > 0 || *schemeName != "" {
+		return singlePoint(*schemeName, ns, *beamDeg, *p)
+	}
+
+	rows, err := experiments.Fig5(ns)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		return experiments.WriteFig5CSV(os.Stdout, rows)
+	}
+	return experiments.WriteFig5(os.Stdout, rows)
+}
+
+// singlePoint prints throughput (at p, or the maximum over p when p == 0)
+// for one scheme at one beamwidth across the densities.
+func singlePoint(schemeName string, ns []float64, beamDeg, p float64) error {
+	if schemeName == "" {
+		return fmt.Errorf("single-point mode needs -scheme")
+	}
+	scheme, err := core.ParseScheme(schemeName)
+	if err != nil {
+		return err
+	}
+	for _, n := range ns {
+		pr := core.Params{N: n, Beamwidth: beamDeg * math.Pi / 180, Lengths: core.PaperLengths()}
+		if p > 0 {
+			th, err := core.Throughput(scheme, p, pr)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s N=%g θ=%g° p=%g: throughput %.4f\n", scheme, n, beamDeg, p, th)
+			continue
+		}
+		best, th, err := core.MaxThroughput(scheme, pr, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s N=%g θ=%g°: max throughput %.4f at p=%.4f\n", scheme, n, beamDeg, th, best)
+	}
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no densities given")
+	}
+	return out, nil
+}

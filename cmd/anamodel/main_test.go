@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("3, 5,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 3 || got[1] != 5 || got[2] != 8 {
+		t.Errorf("parseFloats = %v", got)
+	}
+	if _, err := parseFloats(""); err == nil {
+		t.Error("empty list should fail")
+	}
+	if _, err := parseFloats("3,x"); err == nil {
+		t.Error("junk should fail")
+	}
+	if got, err := parseFloats("7,,"); err != nil || len(got) != 1 {
+		t.Errorf("trailing commas: %v, %v", got, err)
+	}
+}
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	out := make([]byte, 1<<20)
+	n, _ := r.Read(out)
+	if errRun != nil {
+		t.Fatalf("run failed: %v", errRun)
+	}
+	return string(out[:n])
+}
+
+func TestRunFig5Mode(t *testing.T) {
+	out := capture(t, func() error { return run([]string{"-n", "3"}) })
+	if !strings.Contains(out, "Fig. 5") || !strings.Contains(out, "DRTS-DCTS") {
+		t.Errorf("fig5 output missing headers: %q", out[:min(len(out), 200)])
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	out := capture(t, func() error { return run([]string{"-n", "3", "-csv"}) })
+	if !strings.HasPrefix(out, "n,theta_deg") {
+		t.Errorf("CSV header missing: %q", out[:min(len(out), 80)])
+	}
+}
+
+func TestRunSinglePoint(t *testing.T) {
+	out := capture(t, func() error {
+		return run([]string{"-scheme", "drts-dcts", "-n", "5", "-beam", "30", "-p", "0.02"})
+	})
+	if !strings.Contains(out, "DRTS-DCTS N=5") || !strings.Contains(out, "p=0.02") {
+		t.Errorf("single-point output: %q", out)
+	}
+	out = capture(t, func() error {
+		return run([]string{"-scheme", "orts-octs", "-n", "5"})
+	})
+	if !strings.Contains(out, "max throughput") {
+		t.Errorf("max mode output: %q", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-n", "bogus"}); err == nil {
+		t.Error("bad -n should fail")
+	}
+	if err := run([]string{"-scheme", "nope", "-p", "0.02"}); err == nil {
+		t.Error("bad scheme should fail")
+	}
+	if err := run([]string{"-p", "0.02"}); err == nil {
+		t.Error("-p without -scheme should fail")
+	}
+}

@@ -1,0 +1,249 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation:
+//
+//	fig5       analytical maximum throughput vs beamwidth (Section 3)
+//	table1     the IEEE 802.11 configuration constants used (Section 4)
+//	fig6       simulated throughput comparison (Section 4)
+//	fig7       simulated delay comparison (Section 4)
+//	collision  collision-ratio statistics (Section 4, omitted in the paper)
+//	fairness   BEB fairness statistics (Section 4, omitted in the paper)
+//	loadsweep  offered-load vs delivered-throughput/delay study (extension)
+//	mobility   node-speed vs throughput study with stale bearings (extension)
+//	modelvssim analytical-vs-simulated throughput comparison (extension)
+//	reuse      spatial-reuse factor study (extension)
+//	delaycdf   per-packet delay percentile comparison (extension)
+//	all        everything above except the extensions
+//
+// The simulation sweeps default to the paper's 50 random topologies per
+// cell; use -topologies and -duration to trade fidelity for time. Use
+// -csv to emit machine-readable output alongside the tables.
+//
+// Example (full paper reproduction, ~minutes):
+//
+//	experiments -run all -topologies 50 -duration 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		what     = fs.String("run", "all", "fig5|table1|fig6|fig7|collision|fairness|all")
+		topos    = fs.Int("topologies", 50, "random topologies per simulation cell")
+		duration = fs.Duration("duration", 10*time.Second, "simulated time per run")
+		seed     = fs.Int64("seed", 1, "base random seed")
+		csv      = fs.Bool("csv", false, "also emit CSV blocks")
+		jsonOut  = fs.Bool("json", false, "also emit JSON blocks")
+		svgDir   = fs.String("svg", "", "directory to write figure SVGs into (created if missing)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var mkSVG func(name string) (io.WriteCloser, error)
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			return err
+		}
+		mkSVG = func(name string) (io.WriteCloser, error) {
+			return os.Create(filepath.Join(*svgDir, name))
+		}
+	}
+
+	targets := map[string]bool{}
+	for _, t := range strings.Split(*what, ",") {
+		targets[strings.TrimSpace(strings.ToLower(t))] = true
+	}
+	all := targets["all"]
+
+	if all || targets["table1"] {
+		experiments.WriteTable1(os.Stdout)
+		fmt.Println()
+	}
+
+	var fig5Rows []experiments.Fig5Row
+	if all || targets["fig5"] {
+		rows, err := experiments.Fig5([]float64{3, 5, 8})
+		if err != nil {
+			return err
+		}
+		fig5Rows = rows
+		if err := experiments.WriteFig5(os.Stdout, rows); err != nil {
+			return err
+		}
+		if err := experiments.Fig5Shape(rows); err != nil {
+			fmt.Printf("!! shape check: %v\n", err)
+		} else {
+			fmt.Println("shape check: DRTS-DCTS best at narrow beamwidth; degrades with θ; ORTS-OCTS flat — OK")
+		}
+		if *csv {
+			if err := experiments.WriteFig5CSV(os.Stdout, rows); err != nil {
+				return err
+			}
+		}
+		if *jsonOut {
+			if err := experiments.WriteFig5JSON(os.Stdout, rows); err != nil {
+				return err
+			}
+		}
+		fmt.Println()
+	}
+
+	if targets["loadsweep"] {
+		base := experiments.SimConfig{
+			Scheme:       core.ORTSOCTS, // overwritten per cell
+			N:            5,
+			BeamwidthDeg: 30,
+			Seed:         *seed,
+			Duration:     des.Time(duration.Nanoseconds()),
+		}
+		cells, err := experiments.LoadSweep(base, core.Schemes(), experiments.PaperLoads(), *topos)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteLoadSweep(os.Stdout, cells); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if targets["reuse"] {
+		base := experiments.SimConfig{
+			Seed:     *seed,
+			Duration: des.Time(duration.Nanoseconds()),
+		}
+		cells, err := experiments.ReuseStudy(base, core.Schemes(), 8, []float64{30, 90, 150}, *topos)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteReuseStudy(os.Stdout, cells); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if targets["delaycdf"] {
+		base := experiments.SimConfig{
+			N:            8,
+			BeamwidthDeg: 30,
+			Seed:         *seed,
+			Duration:     des.Time(duration.Nanoseconds()),
+		}
+		rows, err := experiments.DelayCDF(base, core.Schemes(), []float64{10, 50, 90, 95, 99})
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteDelayCDF(os.Stdout, rows, core.Schemes()); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if targets["modelvssim"] {
+		base := experiments.SimConfig{
+			Seed:     *seed,
+			Duration: des.Time(duration.Nanoseconds()),
+		}
+		ns, beams := experiments.PaperGrid()
+		rows, err := experiments.ModelVsSim(base, ns, beams, *topos)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteModelVsSim(os.Stdout, rows); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if targets["mobility"] {
+		base := experiments.SimConfig{
+			N:            5,
+			BeamwidthDeg: 30,
+			Seed:         *seed,
+			Duration:     des.Time(duration.Nanoseconds()),
+		}
+		cells, err := experiments.MobilitySweep(base, core.Schemes(), experiments.PaperSpeeds(), *topos)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteMobilitySweep(os.Stdout, cells); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	needGrid := all || targets["fig6"] || targets["fig7"] || targets["collision"] || targets["fairness"]
+	if !needGrid {
+		if mkSVG != nil {
+			return experiments.WriteFigureSVGs(mkSVG, fig5Rows, nil)
+		}
+		return nil
+	}
+
+	base := experiments.SimConfig{
+		Seed:     *seed,
+		Duration: des.Time(duration.Nanoseconds()),
+	}
+	ns, beams := experiments.PaperGrid()
+	fmt.Printf("running simulation grid: %d N × %d beamwidths × 3 schemes × %d topologies, %v each...\n\n",
+		len(ns), len(beams), *topos, base.Duration)
+	cells, err := experiments.RunGrid(base, core.Schemes(), ns, beams, *topos)
+	if err != nil {
+		return err
+	}
+
+	show := func(key, title string, m experiments.Metric) error {
+		if !all && !targets[key] {
+			return nil
+		}
+		return experiments.WriteGrid(os.Stdout, title, cells, m)
+	}
+	if err := show("fig6", "Fig. 6", experiments.MetricThroughput); err != nil {
+		return err
+	}
+	if err := show("fig7", "Fig. 7", experiments.MetricDelay); err != nil {
+		return err
+	}
+	if err := show("collision", "Collision-ratio study", experiments.MetricCollision); err != nil {
+		return err
+	}
+	if err := show("fairness", "Fairness study", experiments.MetricFairness); err != nil {
+		return err
+	}
+	if *csv {
+		if err := experiments.WriteGridCSV(os.Stdout, cells); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		if err := experiments.WriteGridJSON(os.Stdout, cells); err != nil {
+			return err
+		}
+	}
+	if mkSVG != nil {
+		if err := experiments.WriteFigureSVGs(mkSVG, fig5Rows, cells); err != nil {
+			return err
+		}
+		fmt.Printf("figure SVGs written to %s\n", *svgDir)
+	}
+	return nil
+}

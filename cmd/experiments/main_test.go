@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	out := make([]byte, 1<<22)
+	total := 0
+	for {
+		n, err := r.Read(out[total:])
+		total += n
+		if err != nil || n == 0 {
+			break
+		}
+	}
+	return string(out[:total]), errRun
+}
+
+func TestRunTable1(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-run", "table1"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "31-1023") {
+		t.Errorf("table1 output: %q", out)
+	}
+}
+
+func TestRunFig5WithSVG(t *testing.T) {
+	dir := t.TempDir()
+	out, err := capture(t, func() error {
+		return run([]string{"-run", "fig5", "-svg", dir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "shape check") {
+		t.Errorf("fig5 output missing shape check: %q", out[:min(len(out), 200)])
+	}
+	for _, name := range []string{"fig5_n3.svg", "fig5_n5.svg", "fig5_n8.svg"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("missing %s: %v", name, err)
+			continue
+		}
+		if !strings.HasPrefix(string(data), "<svg") {
+			t.Errorf("%s is not SVG", name)
+		}
+	}
+}
+
+func TestRunSmallGrid(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-run", "fig6", "-topologies", "1", "-duration", "150ms"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Fig. 6") {
+		t.Errorf("fig6 block missing: %q", out[:min(len(out), 300)])
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}

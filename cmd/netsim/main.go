@@ -1,0 +1,113 @@
+// Command netsim runs one simulation configuration of the 802.11
+// simulator — a single topology or a batch — and prints the measured
+// inner-node metrics.
+//
+// Examples:
+//
+//	netsim -scheme drts-dcts -n 8 -beam 30 -duration 5s
+//	netsim -scheme orts-octs -n 5 -topologies 20 -seed 7
+//	netsim -scheme drts-dcts -n 5 -beam 90 -hello -verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "netsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("netsim", flag.ContinueOnError)
+	var (
+		schemeName = fs.String("scheme", "drts-dcts", "MAC scheme: ORTS-OCTS, DRTS-DCTS or DRTS-OCTS")
+		n          = fs.Int("n", 5, "density N (inner measured nodes; 9N total)")
+		beamDeg    = fs.Float64("beam", 30, "transmission beamwidth in degrees")
+		seed       = fs.Int64("seed", 1, "random seed")
+		duration   = fs.Duration("duration", 5*time.Second, "simulated time")
+		topos      = fs.Int("topologies", 1, "number of independent random topologies")
+		packet     = fs.Int("packet", 1460, "data packet size in bytes")
+		hello      = fs.Bool("hello", false, "bootstrap neighbor tables over the air (HELLO protocol)")
+		capture    = fs.Bool("capture", false, "ablation: first-signal capture at receivers")
+		oracle     = fs.Bool("oracle-nav", false, "ablation: oracle virtual carrier sensing")
+		noEIFS     = fs.Bool("no-eifs", false, "ablation: disable EIFS deference")
+		adaptive   = fs.Duration("adaptive-rts", 0, "adaptive RTS staleness threshold (0 = off)")
+		verbose    = fs.Bool("verbose", false, "print per-node stats (single-topology mode)")
+		traceN     = fs.Int("trace", 0, "print the last N protocol trace events (single-topology mode)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scheme, err := core.ParseScheme(*schemeName)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.SimConfig{
+		Scheme:         scheme,
+		BeamwidthDeg:   *beamDeg,
+		N:              *n,
+		Seed:           *seed,
+		Duration:       des.Time(duration.Nanoseconds()),
+		PacketBytes:    *packet,
+		HelloBootstrap: *hello,
+		Capture:        *capture,
+		NAVOracle:      *oracle,
+		DisableEIFS:    *noEIFS,
+		AdaptiveRTS:    des.Time(adaptive.Nanoseconds()),
+	}
+	var rec *trace.Recorder
+	if *traceN > 0 {
+		rec = trace.NewRecorder(*traceN)
+		cfg.Tracer = rec
+	}
+
+	if *topos > 1 {
+		b, err := experiments.RunBatch(cfg, *topos)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s N=%d θ=%g° over %d topologies (%v each):\n", scheme, *n, *beamDeg, b.Runs, cfg.Duration)
+		fmt.Printf("  throughput  %s Kb/s per inner node\n", b.ThroughputBps.Scale(1e-3))
+		fmt.Printf("  delay       %s ms\n", b.DelaySec.Scale(1e3))
+		fmt.Printf("  collisions  %s\n", b.CollisionRatio)
+		fmt.Printf("  fairness    %s (Jain)\n", b.Jain)
+		return nil
+	}
+
+	res, err := experiments.RunSim(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s N=%d θ=%g° seed=%d (%v):\n", scheme, *n, *beamDeg, *seed, cfg.Duration)
+	fmt.Printf("  mean inner throughput  %.1f Kb/s\n", res.MeanThroughputBps()/1000)
+	fmt.Printf("  mean delay             %.2f ms\n", res.MeanDelaySec()*1000)
+	fmt.Printf("  mean collision ratio   %.3f\n", res.MeanCollisionRatio())
+	fmt.Printf("  Jain fairness          %.3f\n", res.Jain)
+	if *verbose {
+		fmt.Println("  per inner node:")
+		for i := range res.ThroughputBps {
+			st := res.NodeStats[i]
+			fmt.Printf("    node %2d: %8.1f Kb/s  delay %7.2f ms  coll %.3f  rts %d succ %d drop %d\n",
+				i, res.ThroughputBps[i]/1000, res.DelaySec[i]*1000, res.CollisionRatio[i],
+				st.RTSSent, st.Successes, st.Drops)
+		}
+	}
+	if rec != nil {
+		fmt.Printf("  last %d of %d trace events:\n", len(rec.Events()), rec.Total())
+		if err := rec.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

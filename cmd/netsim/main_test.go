@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	out := make([]byte, 1<<20)
+	n, _ := r.Read(out)
+	return string(out[:n]), errRun
+}
+
+func TestRunSingleTopology(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-scheme", "orts-octs", "-n", "3", "-duration", "200ms", "-seed", "4"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ORTS-OCTS N=3", "mean inner throughput", "Jain fairness"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBatchMode(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-scheme", "drts-dcts", "-n", "3", "-beam", "90",
+			"-duration", "150ms", "-topologies", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "over 2 topologies") {
+		t.Errorf("batch header missing:\n%s", out)
+	}
+}
+
+func TestRunVerboseAndTrace(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-scheme", "orts-octs", "-n", "3", "-duration", "150ms",
+			"-verbose", "-trace", "5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "per inner node:") {
+		t.Error("verbose section missing")
+	}
+	if !strings.Contains(out, "trace events:") {
+		t.Error("trace section missing")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-scheme", "bogus"}); err == nil {
+		t.Error("unknown scheme should fail")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}

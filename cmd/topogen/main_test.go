@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	out := make([]byte, 1<<22)
+	total := 0
+	for {
+		n, err := r.Read(out[total:])
+		total += n
+		if err != nil || n == 0 {
+			break
+		}
+	}
+	return string(out[:total]), errRun
+}
+
+func TestRunJSONRoundTrip(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-n", "3", "-count", "2", "-seed", "9"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(strings.NewReader(out))
+	count := 0
+	for dec.More() {
+		var topo topology.Topology
+		if err := dec.Decode(&topo); err != nil {
+			t.Fatal(err)
+		}
+		if len(topo.Positions) != 27 || topo.N != 3 {
+			t.Errorf("decoded topology: %d positions, N=%d", len(topo.Positions), topo.N)
+		}
+		if err := topo.CheckConstraints(); err != nil {
+			t.Errorf("emitted topology violates constraints: %v", err)
+		}
+		count++
+	}
+	if count != 2 {
+		t.Errorf("decoded %d topologies, want 2", count)
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-n", "3", "-stats"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "degree min/mean/max") {
+		t.Errorf("stats output: %q", out)
+	}
+}
+
+func TestRunSVG(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-n", "3", "-svg"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "<svg") {
+		t.Errorf("SVG output: %q", out[:min(len(out), 60)])
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-n", "x"}); err == nil {
+		t.Error("bad -n should fail")
+	}
+}

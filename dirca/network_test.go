@@ -1,0 +1,83 @@
+package dirca_test
+
+import (
+	"testing"
+
+	"repro/dirca"
+)
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := dirca.NewNetwork(dirca.NetworkConfig{
+		Scheme:    dirca.ORTSOCTS,
+		Positions: []dirca.Position{{X: 0, Y: 0}},
+	}); err == nil {
+		t.Error("one-node network should be rejected")
+	}
+	two := []dirca.Position{{X: 0, Y: 0}, {X: 0.5, Y: 0}}
+	if _, err := dirca.NewNetwork(dirca.NetworkConfig{
+		Scheme: dirca.ORTSOCTS, Positions: two,
+		Flows: []dirca.Flow{{Src: 0, Dst: 9}},
+	}); err == nil {
+		t.Error("flow to unknown node should be rejected")
+	}
+	if _, err := dirca.NewNetwork(dirca.NetworkConfig{
+		Scheme: dirca.ORTSOCTS, Positions: two,
+		Flows: []dirca.Flow{{Src: 0, Dst: 0}},
+	}); err == nil {
+		t.Error("self-flow should be rejected")
+	}
+}
+
+func TestNetworkTwoNodeLink(t *testing.T) {
+	nw, err := dirca.NewNetwork(dirca.NetworkConfig{
+		Scheme:    dirca.ORTSOCTS,
+		Positions: []dirca.Position{{X: 0, Y: 0}, {X: 0.5, Y: 0}},
+		Flows:     []dirca.Flow{{Src: 0, Dst: 1}},
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d", nw.NumNodes())
+	}
+	if nw.ThroughputBps(0) != 0 {
+		t.Error("throughput before Run should be 0")
+	}
+	nw.Run(2 * dirca.Second)
+	if nw.Elapsed() != 2*dirca.Second {
+		t.Errorf("Elapsed = %v", nw.Elapsed())
+	}
+	thr := nw.ThroughputBps(0)
+	if thr < 1.4e6 || thr > 1.9e6 {
+		t.Errorf("clean link goodput = %.3g b/s, want ≈ 1.62 Mb/s", thr)
+	}
+	st := nw.NodeStats(0)
+	if st.Drops != 0 || st.CTSTimeouts != 0 {
+		t.Errorf("clean link had failures: %+v", st)
+	}
+	// Node 1 is a pure responder: no RTS of its own.
+	if nw.NodeStats(1).RTSSent != 0 {
+		t.Error("flow-less node should not originate handshakes")
+	}
+}
+
+func TestNetworkIncrementalRuns(t *testing.T) {
+	nw, err := dirca.NewNetwork(dirca.NetworkConfig{
+		Scheme:       dirca.DRTSDCTS,
+		BeamwidthDeg: 45,
+		Positions:    []dirca.Position{{X: 0, Y: 0}, {X: 0.5, Y: 0}},
+		Flows:        []dirca.Flow{{Src: 0, Dst: 1}},
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Run(dirca.Second)
+	first := nw.NodeStats(0).Successes
+	nw.Run(dirca.Second)
+	second := nw.NodeStats(0).Successes
+	if !(second > first && first > 0) {
+		t.Errorf("progress not monotone: %d then %d", first, second)
+	}
+}

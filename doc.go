@@ -1,0 +1,24 @@
+// Package repro reproduces "Collision Avoidance in Single-Channel Ad Hoc
+// Networks Using Directional Antennas" (Yu Wang and J. J.
+// Garcia-Luna-Aceves, ICDCS 2003) as a Go library.
+//
+// The public API lives in repro/dirca; the substrates live under
+// repro/internal:
+//
+//	internal/core         the paper's analytical model (Section 2)
+//	internal/geom         Takagi–Kleinrock plane geometry
+//	internal/numeric      quadrature, optimization, distributions
+//	internal/des          deterministic discrete-event kernel
+//	internal/phy          radios, directional antennas, collisions
+//	internal/mac          IEEE 802.11 DCF and directional variants
+//	internal/topology     concentric-ring node placement
+//	internal/traffic      saturated / paced CBR sources
+//	internal/neighbor     neighbor location tables + HELLO protocol
+//	internal/stats        streaming statistics, Jain fairness
+//	internal/experiments  figure/table regeneration harness
+//
+// The benchmarks in this package regenerate each of the paper's tables
+// and figures at reduced scale; the cmd/experiments binary runs them at
+// full paper scale. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for measured-vs-published results.
+package repro

@@ -1,0 +1,50 @@
+// Beamsweep: the paper's Fig. 5 through the public API, plus crossover
+// detection — at which beamwidth does the all-directional scheme lose its
+// advantage over standard omni-directional 802.11?
+//
+//	go run ./examples/beamsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/dirca"
+)
+
+func main() {
+	ns := []float64{3, 5, 8}
+	rows, err := dirca.Fig5Table(ns)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("analytical max throughput vs beamwidth (Fig. 5 of the paper)")
+	fmt.Println()
+	byN := map[float64][]dirca.Fig5Row{}
+	for _, r := range rows {
+		byN[r.N] = append(byN[r.N], r)
+	}
+	for _, n := range ns {
+		series := byN[n]
+		fmt.Printf("N = %g\n", n)
+		fmt.Printf("  %9s %11s %11s %11s\n", "theta", "ORTS-OCTS", "DRTS-DCTS", "DRTS-OCTS")
+		crossover := -1.0
+		for _, r := range series {
+			marker := ""
+			if r.DRTSDCTS < r.ORTSOCTS && crossover < 0 {
+				crossover = r.BeamwidthDeg
+				marker = "  <- DRTS-DCTS falls below omni"
+			}
+			fmt.Printf("  %8.0f° %11.4f %11.4f %11.4f%s\n",
+				r.BeamwidthDeg, r.ORTSOCTS, r.DRTSDCTS, r.DRTSOCTS, marker)
+		}
+		switch {
+		case crossover < 0:
+			fmt.Printf("  no crossover: DRTS-DCTS stays ahead across the sweep\n\n")
+		default:
+			fmt.Printf("  crossover near %.0f°: beyond this beamwidth the spatial-reuse gain\n", crossover)
+			fmt.Printf("  no longer pays for the extra collisions\n\n")
+		}
+	}
+}

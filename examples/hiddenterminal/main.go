@@ -1,0 +1,57 @@
+// Hidden-terminal scenario: the motivating problem of the paper's
+// introduction. Nodes A and C cannot hear each other but both flood the
+// middle node B. The RTS/CTS handshake keeps their long data frames from
+// colliding at B; the example shows how each scheme handles it and what
+// the residual collision ratio looks like.
+//
+//	go run ./examples/hiddenterminal
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/dirca"
+)
+
+func main() {
+	// A --- B --- C with |AB| = |BC| = 0.9 and |AC| = 1.8 > 1: A and C are
+	// hidden from each other.
+	positions := []dirca.Position{
+		{X: -0.9, Y: 0}, // A
+		{X: 0, Y: 0},    // B
+		{X: 0.9, Y: 0},  // C
+	}
+	flows := []dirca.Flow{
+		{Src: 0, Dst: 1}, // A → B
+		{Src: 2, Dst: 1}, // C → B
+	}
+
+	fmt.Println("hidden-terminal triple: A and C both saturate B, out of each other's range")
+	fmt.Println()
+	for _, s := range dirca.Schemes() {
+		nw, err := dirca.NewNetwork(dirca.NetworkConfig{
+			Scheme:       s,
+			BeamwidthDeg: 30,
+			Positions:    positions,
+			Flows:        flows,
+			Seed:         7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nw.Run(5 * dirca.Second)
+
+		a, c := nw.NodeStats(0), nw.NodeStats(2)
+		agg := (nw.ThroughputBps(0) + nw.ThroughputBps(2)) / 1000
+		fmt.Printf("%-9s: aggregate %7.1f Kb/s  A: %4d ok / %3d data-collisions  C: %4d ok / %3d data-collisions\n",
+			s, agg, a.Successes, a.ACKTimeouts, c.Successes, c.ACKTimeouts)
+	}
+
+	fmt.Println()
+	fmt.Println("The RTS/CTS exchange confines the vulnerable period to the short RTS:")
+	fmt.Println("data frames are ~75x longer than an RTS, yet data-phase collisions stay rare.")
+	fmt.Println("With directional CTS (DRTS-DCTS), B's grant no longer silences both sides,")
+	fmt.Println("so the collision count rises — the collision-avoidance/spatial-reuse tradeoff")
+	fmt.Println("the paper quantifies.")
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper takes the per-slot attempt probability p as the free
+// parameter and notes that p = p₀ · Prob{channel is sensed idle in a
+// slot}, where p₀ is the probability a backlogged node becomes ready in a
+// slot (the relationship is analyzed in the authors' earlier ICNP'02 and
+// Wu–Varshney channel models, which the paper cites and then sidesteps).
+// AttemptProbability closes that loop with the natural approximation for
+// the idle probability around a node, Prob{idle} ≈ (1−p)·e^{−pN} (the
+// node model's P_ww): neither the node itself nor any of its on-average N
+// neighbors starts transmitting.
+
+// AttemptProbability solves the fixed point
+//
+//	p = p₀ · (1−p) · e^{−pN}
+//
+// for p ∈ (0, p₀], given the readiness probability p₀ ∈ (0, 1) and the
+// density N. The right-hand side is strictly decreasing in p, so the
+// fixed point is unique; it is found by bisection to within 1e-12.
+func AttemptProbability(p0, n float64) (float64, error) {
+	if p0 <= 0 || p0 >= 1 || math.IsNaN(p0) {
+		return 0, fmt.Errorf("core: readiness probability must be in (0, 1), got %v", p0)
+	}
+	if n <= 0 || math.IsNaN(n) || math.IsInf(n, 0) {
+		return 0, fmt.Errorf("core: N must be positive and finite, got %v", n)
+	}
+	f := func(p float64) float64 {
+		return p0*(1-p)*math.Exp(-p*n) - p
+	}
+	// f(0) = p0 > 0 and f(p0) ≤ 0, so the root is bracketed by [0, p0].
+	lo, hi := 0.0, p0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12 {
+			break
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// ThroughputFromReadiness evaluates the scheme throughput at the attempt
+// probability induced by readiness p₀ — the user-facing knob a protocol
+// implementation actually controls (via its contention window).
+func ThroughputFromReadiness(s Scheme, p0 float64, pr Params) (float64, error) {
+	p, err := AttemptProbability(p0, pr.N)
+	if err != nil {
+		return 0, err
+	}
+	return Throughput(s, p, pr)
+}

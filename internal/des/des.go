@@ -1,0 +1,214 @@
+// Package des is a deterministic discrete-event simulation kernel: a
+// monotonic virtual clock, a binary-heap event queue with stable FIFO
+// ordering among simultaneous events, cancellable timers, and a seeded
+// random stream. It is single-threaded by design — protocol models run as
+// callbacks on the scheduler goroutine, which makes runs exactly
+// reproducible for a given seed.
+package des
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Time is a simulation timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations expressed in simulation Time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds converts a simulation duration to floating-point seconds.
+func (t Time) Seconds() float64 {
+	return float64(t) / float64(Second)
+}
+
+// Microseconds converts a simulation duration to floating-point
+// microseconds.
+func (t Time) Microseconds() float64 {
+	return float64(t) / float64(Microsecond)
+}
+
+// String renders the time like a time.Duration (both are nanosecond
+// counts).
+func (t Time) String() string {
+	return time.Duration(t).String()
+}
+
+// Timer is a handle for a scheduled event. Its zero value is not useful;
+// timers are created by Scheduler.At and Scheduler.Schedule.
+type Timer struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	fired    bool
+	index    int // heap index, -1 once popped
+}
+
+// When returns the simulated time the timer is (or was) due to fire.
+func (t *Timer) When() Time {
+	return t.at
+}
+
+// Active reports whether the timer is still pending: neither fired nor
+// canceled.
+func (t *Timer) Active() bool {
+	return t != nil && !t.canceled && !t.fired
+}
+
+// Scheduler owns the virtual clock and the pending-event queue.
+type Scheduler struct {
+	now   Time
+	queue timerHeap
+	seq   uint64
+	rng   *rand.Rand
+	count uint64 // events executed
+}
+
+// New returns a Scheduler whose random stream is seeded with seed.
+func New(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time {
+	return s.now
+}
+
+// Rand returns the scheduler's deterministic random stream.
+func (s *Scheduler) Rand() *rand.Rand {
+	return s.rng
+}
+
+// Executed returns the number of events executed so far.
+func (s *Scheduler) Executed() uint64 {
+	return s.count
+}
+
+// Pending returns the number of events still queued.
+func (s *Scheduler) Pending() int {
+	return s.queue.Len()
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t
+// before Now) clamps to Now, preserving causality. Events scheduled for
+// the same instant fire in scheduling order.
+func (s *Scheduler) At(t Time, fn func()) *Timer {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	tm := &Timer{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, tm)
+	return tm
+}
+
+// Schedule schedules fn to run after delay d from now. Negative delays
+// clamp to zero.
+func (s *Scheduler) Schedule(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel marks the timer as canceled so its callback will not run.
+// It reports whether the cancellation took effect (false when the timer
+// already fired or was already canceled).
+func (s *Scheduler) Cancel(t *Timer) bool {
+	if t == nil || t.canceled || t.fired {
+		return false
+	}
+	t.canceled = true
+	// The entry stays in the heap and is discarded when popped; lazy
+	// deletion keeps Cancel O(1), and the MAC layer cancels constantly.
+	return true
+}
+
+// Step executes the next pending event and reports whether one ran.
+// Canceled events are skipped silently.
+func (s *Scheduler) Step() bool {
+	for s.queue.Len() > 0 {
+		tm, _ := heap.Pop(&s.queue).(*Timer)
+		if tm.canceled {
+			continue
+		}
+		s.now = tm.at
+		tm.fired = true
+		s.count++
+		tm.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the clock would pass `until` or the queue
+// drains, and returns the number of events executed by this call. Events
+// scheduled exactly at `until` still run.
+func (s *Scheduler) Run(until Time) uint64 {
+	start := s.count
+	for s.queue.Len() > 0 {
+		next := s.queue[0]
+		if next.canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.at > until {
+			break
+		}
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return s.count - start
+}
+
+// RunAll executes every pending event regardless of time and returns how
+// many ran. Useful for draining short test scenarios.
+func (s *Scheduler) RunAll() uint64 {
+	start := s.count
+	for s.Step() {
+	}
+	return s.count - start
+}
+
+// timerHeap is a min-heap ordered by (time, sequence).
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *timerHeap) Push(x any) {
+	tm, _ := x.(*Timer)
+	tm.index = len(*h)
+	*h = append(*h, tm)
+}
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	tm := old[n-1]
+	old[n-1] = nil
+	tm.index = -1
+	*h = old[:n-1]
+	return tm
+}

@@ -1,0 +1,353 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := (2 * Second).Seconds(); got != 2 {
+		t.Errorf("Seconds = %v, want 2", got)
+	}
+	if got := (1500 * Microsecond).Microseconds(); got != 1500 {
+		t.Errorf("Microseconds = %v, want 1500", got)
+	}
+	if Second != 1000*Millisecond || Millisecond != 1000*Microsecond || Microsecond != 1000*Nanosecond {
+		t.Error("time unit ladder inconsistent")
+	}
+}
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.Schedule(30, func() { order = append(order, 3) })
+	s.Schedule(10, func() { order = append(order, 1) })
+	s.Schedule(20, func() { order = append(order, 2) })
+	if n := s.RunAll(); n != 3 {
+		t.Fatalf("RunAll executed %d events, want 3", n)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("execution order %v, want [1 2 3]", order)
+		}
+	}
+	if s.Now() != 30 {
+		t.Errorf("Now = %v, want 30", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(50, func() { order = append(order, i) })
+	}
+	s.RunAll()
+	if !sort.IntsAreSorted(order) {
+		t.Error("simultaneous events did not run in scheduling order")
+	}
+	if len(order) != 100 {
+		t.Errorf("ran %d events, want 100", len(order))
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var ticks []Time
+	var tick func()
+	tick = func() {
+		ticks = append(ticks, s.Now())
+		if len(ticks) < 5 {
+			s.Schedule(10, tick)
+		}
+	}
+	s.Schedule(0, tick)
+	s.RunAll()
+	want := []Time{0, 10, 20, 30, 40}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.Schedule(10, func() { fired = true })
+	if !tm.Active() {
+		t.Error("timer should be active before firing")
+	}
+	if !s.Cancel(tm) {
+		t.Error("first Cancel should succeed")
+	}
+	if s.Cancel(tm) {
+		t.Error("second Cancel should report false")
+	}
+	if tm.Active() {
+		t.Error("canceled timer should not be active")
+	}
+	s.RunAll()
+	if fired {
+		t.Error("canceled timer fired")
+	}
+	if s.Executed() != 0 {
+		t.Errorf("Executed = %d, want 0", s.Executed())
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	s := New(1)
+	tm := s.Schedule(5, func() {})
+	s.RunAll()
+	if s.Cancel(tm) {
+		t.Error("Cancel after firing should report false")
+	}
+	if tm.Active() {
+		t.Error("fired timer should not be active")
+	}
+}
+
+func TestCancelNil(t *testing.T) {
+	s := New(1)
+	if s.Cancel(nil) {
+		t.Error("Cancel(nil) should report false")
+	}
+	var tm *Timer
+	if tm.Active() {
+		t.Error("nil timer should not be active")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var ran []Time
+	for _, at := range []Time{5, 10, 15, 20, 25} {
+		at := at
+		s.At(at, func() { ran = append(ran, at) })
+	}
+	n := s.Run(15)
+	if n != 3 {
+		t.Errorf("Run(15) executed %d, want 3 (inclusive boundary)", n)
+	}
+	if s.Now() != 15 {
+		t.Errorf("Now = %v, want 15", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", s.Pending())
+	}
+	n = s.Run(100)
+	if n != 2 {
+		t.Errorf("second Run executed %d, want 2", n)
+	}
+	if s.Now() != 100 {
+		t.Errorf("Now advances to the run horizon: %v, want 100", s.Now())
+	}
+}
+
+func TestRunAdvancesClockWithEmptyQueue(t *testing.T) {
+	s := New(1)
+	s.Run(500)
+	if s.Now() != 500 {
+		t.Errorf("Now = %v, want 500", s.Now())
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	s := New(1)
+	s.Schedule(100, func() {})
+	s.RunAll()
+	if s.Now() != 100 {
+		t.Fatalf("Now = %v", s.Now())
+	}
+	var at Time
+	tm := s.At(50, func() { at = s.Now() }) // in the past
+	if tm.When() != 100 {
+		t.Errorf("When = %v, want clamped to 100", tm.When())
+	}
+	s.RunAll()
+	if at != 100 {
+		t.Errorf("past event ran at %v, want 100", at)
+	}
+}
+
+func TestNegativeDelayClamps(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.Schedule(-5, func() { ran = true })
+	s.RunAll()
+	if !ran || s.Now() != 0 {
+		t.Errorf("negative delay: ran=%v now=%v, want true/0", ran, s.Now())
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func(seed int64) []Time {
+		s := New(seed)
+		var log []Time
+		var step func()
+		step = func() {
+			log = append(log, s.Now())
+			if len(log) < 200 {
+				s.Schedule(Time(s.Rand().Intn(100)+1), step)
+			}
+		}
+		s.Schedule(0, step)
+		s.RunAll()
+		return log
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatal("different run lengths for same seed")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical runs (suspicious)")
+	}
+}
+
+// TestClockMonotonicity: no matter how events are scheduled, the observed
+// clock at execution time never decreases.
+func TestClockMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		s := New(seed)
+		rng := rand.New(rand.NewSource(seed))
+		var times []Time
+		for i := 0; i < 100; i++ {
+			s.At(Time(rng.Intn(1000)), func() { times = append(times, s.Now()) })
+		}
+		s.RunAll()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCancelStorm: heavy cancellation (the MAC workload) must not corrupt
+// the queue.
+func TestCancelStorm(t *testing.T) {
+	s := New(7)
+	rng := rand.New(rand.NewSource(99))
+	var live, canceled int
+	var timers []*Timer
+	for i := 0; i < 10000; i++ {
+		tm := s.At(Time(rng.Intn(5000)), func() { live++ })
+		timers = append(timers, tm)
+	}
+	for _, tm := range timers {
+		if rng.Intn(2) == 0 {
+			if s.Cancel(tm) {
+				canceled++
+			}
+		}
+	}
+	s.RunAll()
+	if live+canceled != 10000 {
+		t.Errorf("live %d + canceled %d != 10000", live, canceled)
+	}
+	if uint64(live) != s.Executed() {
+		t.Errorf("Executed = %d, want %d", s.Executed(), live)
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	s := New(1)
+	if s.Step() {
+		t.Error("Step on empty queue should return false")
+	}
+	tm := s.Schedule(1, func() {})
+	s.Cancel(tm)
+	if s.Step() {
+		t.Error("Step with only canceled events should return false")
+	}
+}
+
+// TestSchedulerAgainstReferenceModel stress-tests the event heap against
+// a brute-force reference: random schedules and cancellations must fire
+// in exactly the order a sort-based model predicts.
+func TestSchedulerAgainstReferenceModel(t *testing.T) {
+	type ref struct {
+		at    Time
+		seq   int
+		alive bool
+	}
+	for trial := 0; trial < 20; trial++ {
+		s := New(int64(trial))
+		rng := rand.New(rand.NewSource(int64(trial) * 7))
+		var (
+			model  []*ref
+			timers []*Timer
+			fired  []int
+		)
+		for i := 0; i < 500; i++ {
+			at := Time(rng.Intn(10000))
+			r := &ref{at: at, seq: i, alive: true}
+			model = append(model, r)
+			i := i
+			timers = append(timers, s.At(at, func() { fired = append(fired, i) }))
+		}
+		for i, tm := range timers {
+			if rng.Intn(3) == 0 {
+				s.Cancel(tm)
+				model[i].alive = false
+			}
+		}
+		s.RunAll()
+		var want []int
+		alive := make([]*ref, 0, len(model))
+		for _, r := range model {
+			if r.alive {
+				alive = append(alive, r)
+			}
+		}
+		sort.Slice(alive, func(a, b int) bool {
+			if alive[a].at != alive[b].at {
+				return alive[a].at < alive[b].at
+			}
+			return alive[a].seq < alive[b].seq
+		})
+		for _, r := range alive {
+			want = append(want, r.seq)
+		}
+		if len(fired) != len(want) {
+			t.Fatalf("trial %d: fired %d events, want %d", trial, len(fired), len(want))
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				t.Fatalf("trial %d: order diverges at %d: got %d want %d", trial, i, fired[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := (1500 * Microsecond).String(); got != "1.5ms" {
+		t.Errorf("String = %q, want 1.5ms", got)
+	}
+}

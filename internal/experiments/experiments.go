@@ -1,0 +1,413 @@
+// Package experiments assembles complete simulation runs and regenerates
+// every table and figure of the paper's evaluation: the analytical Fig. 5
+// curves, the simulated throughput (Fig. 6) and delay (Fig. 7)
+// comparisons, and the collision-ratio and fairness statistics that the
+// paper describes but omits for space.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/mac"
+	"repro/internal/mobility"
+	"repro/internal/neighbor"
+	"repro/internal/phy"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// SimConfig describes one simulation run.
+type SimConfig struct {
+	// Scheme is the collision-avoidance variant under test.
+	Scheme core.Scheme
+	// BeamwidthDeg is the transmission beamwidth in degrees (ignored by
+	// ORTS-OCTS).
+	BeamwidthDeg float64
+	// N is the paper's density parameter: the inner circle holds N
+	// measured nodes; the whole network has 9N.
+	N int
+	// Seed drives topology generation and all protocol randomness.
+	Seed int64
+	// Duration is the measured simulation time.
+	Duration des.Time
+	// PacketBytes is the data payload size (defaults to 1460).
+	PacketBytes int
+	// Topology optionally supplies a pre-generated placement; when nil a
+	// fresh constrained ring topology is drawn from the seed.
+	Topology *topology.Topology
+	// HelloBootstrap populates neighbor tables with the over-the-air
+	// HELLO protocol instead of ground truth.
+	HelloBootstrap bool
+	// Capture enables the first-signal capture ablation at the receiver.
+	Capture bool
+	// NAVOracle enables the oracle virtual-carrier-sense ablation:
+	// out-of-beam neighbors still learn frame durations and defer.
+	NAVOracle bool
+	// DisableEIFS disables extended-IFS deference (ablation).
+	DisableEIFS bool
+	// Tracer, when non-nil, receives every node's protocol events.
+	Tracer trace.Tracer
+	// BasicAccess disables RTS/CTS (the hidden-terminal-prone baseline).
+	BasicAccess bool
+	// OfferedLoadBps, when positive, replaces the saturated sources with
+	// paced CBR sources offering this many bits per second per node
+	// (bounded queue of 64 packets). Zero means saturation, as in the
+	// paper.
+	OfferedLoadBps float64
+	// MaxSpeed, when positive, animates nodes with a random-waypoint walk
+	// at uniform speeds up to this many transmission ranges per second
+	// (extension; the paper's networks are static). Neighbor tables are
+	// refreshed from ground truth every RefreshInterval.
+	MaxSpeed float64
+	// RefreshInterval bounds neighbor-location staleness under mobility
+	// (default 1 s).
+	RefreshInterval des.Time
+	// SampleDelays, when true, reservoir-samples per-packet delays of the
+	// inner nodes so SimResult carries delay percentiles, not just means.
+	SampleDelays bool
+	// AdaptiveRTS enables the Ko et al.-style adaptive variant on
+	// directional schemes: RTS falls back to omni when the destination's
+	// location is staler than this threshold, and every frame piggybacks
+	// the sender's position to refresh tables (0 disables).
+	AdaptiveRTS des.Time
+	// SINR replaces the paper's overlap-collision receiver with the
+	// physical SINR model (path loss α=2, 10 dB threshold, low noise
+	// floor): strong frames capture, and directional gain follows the
+	// paper's footnote 2.
+	SINR bool
+}
+
+// Validate checks the configuration.
+func (c SimConfig) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("experiments: N must be at least 2, got %d", c.N)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("experiments: duration must be positive, got %v", c.Duration)
+	}
+	if c.Scheme != core.ORTSOCTS && (c.BeamwidthDeg <= 0 || c.BeamwidthDeg > 360) {
+		return fmt.Errorf("experiments: beamwidth must be in (0, 360] degrees, got %v", c.BeamwidthDeg)
+	}
+	return nil
+}
+
+// SimResult holds the per-run metrics for the measured inner nodes.
+type SimResult struct {
+	// ThroughputBps is each inner node's acknowledged goodput in bits/s.
+	ThroughputBps []float64
+	// DelaySec is each inner node's mean MAC service delay in seconds
+	// (NaN markers are excluded: nodes that delivered nothing carry 0).
+	DelaySec []float64
+	// CollisionRatio is each inner node's ACK-timeout fraction of
+	// data-phase handshakes.
+	CollisionRatio []float64
+	// Jain is the fairness index over the inner nodes' throughput.
+	Jain float64
+	// DelaySamplesSec holds a uniform sample of per-packet service delays
+	// of the inner nodes (populated when SimConfig.SampleDelays is set).
+	DelaySamplesSec []float64
+	// SpatialReuse is the network's concurrency factor: total transmit
+	// airtime across all nodes divided by elapsed time. Values above 1
+	// mean simultaneous transmissions coexisted — the reuse the paper's
+	// directional schemes are built to unlock.
+	SpatialReuse float64
+	// AirtimeShare breaks the on-air time down by frame type (fractions
+	// of TotalTxAirtime).
+	AirtimeShare map[string]float64
+	// NodeStats are the raw MAC counters for every node (all rings).
+	NodeStats []mac.Stats
+}
+
+// MeanThroughputBps returns the average inner-node goodput.
+func (r *SimResult) MeanThroughputBps() float64 { return mean(r.ThroughputBps) }
+
+// MeanDelaySec returns the average inner-node service delay over nodes
+// that delivered at least one packet.
+func (r *SimResult) MeanDelaySec() float64 {
+	var sum float64
+	var n int
+	for i, d := range r.DelaySec {
+		if r.NodeStats[i].DelayCount > 0 {
+			sum += d
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MeanCollisionRatio returns the average inner-node collision ratio.
+func (r *SimResult) MeanCollisionRatio() float64 { return mean(r.CollisionRatio) }
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// RunSim executes one complete simulation: topology, PHY, neighbor
+// bootstrap, MAC per node, saturated CBR traffic, and metric collection
+// on the inner N nodes.
+func RunSim(cfg SimConfig) (*SimResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PacketBytes == 0 {
+		cfg.PacketBytes = traffic.PaperPacketBytes
+	}
+	topo := cfg.Topology
+	if topo == nil {
+		var err error
+		topo, err = topology.Generate(rand.New(rand.NewSource(cfg.Seed)), topology.DefaultConfig(cfg.N))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+	}
+
+	sched := des.New(cfg.Seed ^ 0x5eed)
+	phyParams := phy.DefaultParams()
+	phyParams.Range = topo.Radius
+	phyParams.Capture = cfg.Capture
+	phyParams.NAVOracle = cfg.NAVOracle
+	if cfg.SINR {
+		phyParams.SINRThreshold = 10
+		phyParams.PathLoss = 2
+		phyParams.NoiseFloor = 0.001
+	}
+	ch, err := phy.NewChannel(sched, phyParams)
+	if err != nil {
+		return nil, err
+	}
+	for _, pos := range topo.Positions {
+		ch.AddRadio(pos, nil)
+	}
+
+	var tables []*neighbor.Table
+	if cfg.HelloBootstrap {
+		tables, err = neighbor.Bootstrap(sched, ch, neighbor.DefaultHelloConfig())
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		tables = neighbor.GroundTruth(ch)
+	}
+
+	macCfg := mac.DefaultConfig(cfg.Scheme, cfg.BeamwidthDeg*math.Pi/180)
+	macCfg.DisableEIFS = cfg.DisableEIFS
+	macCfg.Tracer = cfg.Tracer
+	macCfg.BasicAccess = cfg.BasicAccess
+	if cfg.AdaptiveRTS > 0 {
+		macCfg.AdaptiveRTSStaleness = cfg.AdaptiveRTS
+		macCfg.PiggybackLocation = true
+	}
+	var delayRes *stats.Reservoir
+	if cfg.SampleDelays {
+		delayRes = stats.NewReservoir(4096, sched.Rand())
+	}
+	nodes := make([]*mac.Node, ch.NumRadios())
+	var cbrs []*traffic.CBR
+	for i := 0; i < ch.NumRadios(); i++ {
+		id := phy.NodeID(i)
+		var src mac.Source = traffic.Empty{}
+		var cbr *traffic.CBR
+		if nbs := ch.Neighbors(id); len(nbs) > 0 {
+			if cfg.OfferedLoadBps > 0 {
+				interval := des.Time(float64(cfg.PacketBytes*8) / cfg.OfferedLoadBps * float64(des.Second))
+				cbr, err = traffic.NewCBR(sched, sched.Rand(), nbs, traffic.CBRConfig{
+					Interval: interval, Bytes: cfg.PacketBytes, QueueCap: 64,
+				})
+				if err != nil {
+					return nil, err
+				}
+				src = cbr
+				cbrs = append(cbrs, cbr)
+			} else {
+				src, err = traffic.NewSaturated(sched.Rand(), nbs, cfg.PacketBytes)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		nodeCfg := macCfg
+		if delayRes != nil && i < topo.InnerCount() {
+			nodeCfg.OnDelivery = func(d des.Time) { delayRes.Add(d.Seconds()) }
+		}
+		nodes[i], err = mac.New(sched, ch.Radio(id), tables[i], src, nodeCfg)
+		if err != nil {
+			return nil, err
+		}
+		if cbr != nil {
+			cbr.SetKick(nodes[i].Kick)
+		}
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	for _, c := range cbrs {
+		c.Start()
+	}
+	if cfg.MaxSpeed > 0 {
+		mob, err := mobility.New(sched, ch, mobility.DefaultConfig(cfg.MaxSpeed))
+		if err != nil {
+			return nil, err
+		}
+		mob.Start()
+		refresh := cfg.RefreshInterval
+		if refresh <= 0 {
+			refresh = des.Second
+		}
+		if _, err := neighbor.PeriodicRefresh(sched, ch, tables, refresh); err != nil {
+			return nil, err
+		}
+	}
+	start := sched.Now() // after any bootstrap
+	sched.Run(start + cfg.Duration)
+
+	res := &SimResult{
+		ThroughputBps:  make([]float64, topo.InnerCount()),
+		DelaySec:       make([]float64, topo.InnerCount()),
+		CollisionRatio: make([]float64, topo.InnerCount()),
+		NodeStats:      make([]mac.Stats, len(nodes)),
+	}
+	for i, n := range nodes {
+		res.NodeStats[i] = n.Stats()
+	}
+	for i := 0; i < topo.InnerCount(); i++ {
+		st := res.NodeStats[i]
+		res.ThroughputBps[i] = float64(st.BitsAcked) / cfg.Duration.Seconds()
+		res.DelaySec[i] = st.AvgDelay().Seconds()
+		res.CollisionRatio[i] = st.CollisionRatio()
+	}
+	res.Jain = stats.JainIndex(res.ThroughputBps)
+	res.SpatialReuse = ch.TotalTxAirtime().Seconds() / cfg.Duration.Seconds()
+	if total := ch.TotalTxAirtime(); total > 0 {
+		res.AirtimeShare = make(map[string]float64, 4)
+		for _, ft := range []phy.FrameType{phy.RTS, phy.CTS, phy.Data, phy.ACK} {
+			res.AirtimeShare[ft.String()] = ch.TxAirtime(ft).Seconds() / total.Seconds()
+		}
+	}
+	if delayRes != nil {
+		res.DelaySamplesSec = delayRes.Sample()
+	}
+	return res, nil
+}
+
+// DelayPercentileSec returns the p-th percentile of the sampled
+// per-packet delays (0 without SampleDelays).
+func (r *SimResult) DelayPercentileSec(p float64) float64 {
+	return stats.Percentile(r.DelaySamplesSec, p)
+}
+
+// BatchResult aggregates one (scheme, N, beamwidth) cell over many random
+// topologies, mirroring the paper's mean + vertical range presentation.
+type BatchResult struct {
+	// ThroughputBps summarizes the per-topology mean inner-node goodput.
+	ThroughputBps stats.Summary
+	// DelaySec summarizes the per-topology mean service delay.
+	DelaySec stats.Summary
+	// CollisionRatio summarizes the per-topology mean collision ratio.
+	CollisionRatio stats.Summary
+	// Jain summarizes the per-topology fairness index.
+	Jain stats.Summary
+	// Runs is the number of topologies aggregated.
+	Runs int
+}
+
+// RunBatch runs cfg over `topologies` independent random topologies
+// (seeds cfg.Seed, cfg.Seed+1, ...), in parallel across CPUs, and
+// aggregates the per-topology means.
+func RunBatch(cfg SimConfig, topologies int) (*BatchResult, error) {
+	if topologies < 1 {
+		return nil, fmt.Errorf("experiments: need at least one topology, got %d", topologies)
+	}
+	results := make([]*SimResult, topologies)
+	errs := make([]error, topologies)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < topologies; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cfg
+			c.Seed = cfg.Seed + int64(i)
+			c.Topology = nil
+			results[i], errs[i] = RunSim(c)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out BatchResult
+	var th, dl, cr, jn stats.Stream
+	for _, r := range results {
+		th.Add(r.MeanThroughputBps())
+		dl.Add(r.MeanDelaySec())
+		cr.Add(r.MeanCollisionRatio())
+		jn.Add(r.Jain)
+	}
+	out.ThroughputBps = th.Summarize()
+	out.DelaySec = dl.Summarize()
+	out.CollisionRatio = cr.Summarize()
+	out.Jain = jn.Summarize()
+	out.Runs = topologies
+	return &out, nil
+}
+
+// GridCell is one point of the paper's Fig. 6/7 sweep.
+type GridCell struct {
+	Scheme       core.Scheme
+	N            int
+	BeamwidthDeg float64
+	Batch        *BatchResult
+}
+
+// PaperGrid returns the paper's simulation sweep: N ∈ {3, 5, 8} and
+// beamwidth ∈ {30°, 90°, 150°}.
+func PaperGrid() (ns []int, beamsDeg []float64) {
+	return []int{3, 5, 8}, []float64{30, 90, 150}
+}
+
+// RunGrid evaluates every (scheme, N, beamwidth) combination over the
+// given number of topologies. Base supplies Duration, Seed and ablation
+// switches. ORTS-OCTS ignores beamwidth but is run once per beamwidth for
+// table alignment (its results differ only by random stream).
+func RunGrid(base SimConfig, schemes []core.Scheme, ns []int, beamsDeg []float64, topologies int) ([]GridCell, error) {
+	var cells []GridCell
+	for _, n := range ns {
+		for _, beam := range beamsDeg {
+			for _, s := range schemes {
+				cfg := base
+				cfg.Scheme = s
+				cfg.N = n
+				cfg.BeamwidthDeg = beam
+				batch, err := RunBatch(cfg, topologies)
+				if err != nil {
+					return nil, fmt.Errorf("grid cell %v N=%d θ=%v: %w", s, n, beam, err)
+				}
+				cells = append(cells, GridCell{Scheme: s, N: n, BeamwidthDeg: beam, Batch: batch})
+			}
+		}
+	}
+	return cells, nil
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Fig5Row is one beamwidth point of the analytical Fig. 5 sweep: the
+// maximum achievable normalized throughput of each scheme.
+type Fig5Row struct {
+	BeamwidthDeg float64
+	N            float64
+	ORTSOCTS     float64
+	DRTSDCTS     float64
+	DRTSOCTS     float64
+}
+
+// Fig5 computes the paper's Fig. 5 series (maximum throughput over the
+// attempt probability p, per beamwidth 15°..180°) for each density in ns,
+// using the Section 3 packet lengths (control 5τ, data 100τ).
+func Fig5(ns []float64) ([]Fig5Row, error) {
+	lengths := core.PaperLengths()
+	thetas := core.PaperBeamwidths()
+	rows := make([]Fig5Row, 0, len(ns)*len(thetas))
+	for _, n := range ns {
+		curves := make(map[core.Scheme][]float64, 3)
+		for _, s := range core.Schemes() {
+			c, err := core.Curve(s, n, lengths, thetas)
+			if err != nil {
+				return nil, fmt.Errorf("fig5 N=%v %v: %w", n, s, err)
+			}
+			curves[s] = c
+		}
+		for i, th := range thetas {
+			rows = append(rows, Fig5Row{
+				BeamwidthDeg: math.Round(th * 180 / math.Pi),
+				N:            n,
+				ORTSOCTS:     curves[core.ORTSOCTS][i],
+				DRTSDCTS:     curves[core.DRTSDCTS][i],
+				DRTSOCTS:     curves[core.DRTSOCTS][i],
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig5Shape verifies the published qualitative claims on a computed
+// Fig. 5 table and returns an error describing the first violation:
+//
+//  1. DRTS-DCTS beats both other schemes at the narrowest beamwidth;
+//  2. DRTS-DCTS degrades monotonically (within tolerance) as θ grows;
+//  3. ORTS-OCTS is flat in θ.
+func Fig5Shape(rows []Fig5Row) error {
+	byN := make(map[float64][]Fig5Row)
+	for _, r := range rows {
+		byN[r.N] = append(byN[r.N], r)
+	}
+	for n, series := range byN {
+		first := series[0]
+		if !(first.DRTSDCTS > first.DRTSOCTS && first.DRTSDCTS > first.ORTSOCTS) {
+			return fmt.Errorf("fig5 N=%v: DRTS-DCTS not best at θ=%v°", n, first.BeamwidthDeg)
+		}
+		for i := 1; i < len(series); i++ {
+			if series[i].DRTSDCTS > series[i-1].DRTSDCTS+1e-9 {
+				return fmt.Errorf("fig5 N=%v: DRTS-DCTS increases at θ=%v°", n, series[i].BeamwidthDeg)
+			}
+			if math.Abs(series[i].ORTSOCTS-first.ORTSOCTS) > 1e-9 {
+				return fmt.Errorf("fig5 N=%v: ORTS-OCTS depends on θ", n)
+			}
+		}
+	}
+	return nil
+}
+
+// Fig5Sensitivity verifies the paper's Section 3 remark that "similar
+// results can be readily obtained for other configurations": it computes
+// the Fig. 5 sweep for alternative data-packet lengths (control packets
+// stay at 5 slots) and returns the rows keyed by data length. Callers can
+// pass each series through Fig5Shape.
+func Fig5Sensitivity(n float64, dataLens []int) (map[int][]Fig5Row, error) {
+	if len(dataLens) == 0 {
+		return nil, fmt.Errorf("fig5 sensitivity: need at least one data length")
+	}
+	thetas := core.PaperBeamwidths()
+	out := make(map[int][]Fig5Row, len(dataLens))
+	for _, ld := range dataLens {
+		lengths := core.Lengths{RTS: 5, CTS: 5, Data: ld, ACK: 5}
+		if err := lengths.Validate(); err != nil {
+			return nil, err
+		}
+		curves := make(map[core.Scheme][]float64, 3)
+		for _, s := range core.Schemes() {
+			c, err := core.Curve(s, n, lengths, thetas)
+			if err != nil {
+				return nil, fmt.Errorf("fig5 sensitivity l_data=%d %v: %w", ld, s, err)
+			}
+			curves[s] = c
+		}
+		rows := make([]Fig5Row, 0, len(thetas))
+		for i, th := range thetas {
+			rows = append(rows, Fig5Row{
+				BeamwidthDeg: math.Round(th * 180 / math.Pi),
+				N:            n,
+				ORTSOCTS:     curves[core.ORTSOCTS][i],
+				DRTSDCTS:     curves[core.DRTSDCTS][i],
+				DRTSOCTS:     curves[core.DRTSOCTS][i],
+			})
+		}
+		out[ld] = rows
+	}
+	return out, nil
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/plot"
+)
+
+// Fig5Chart builds the Fig. 5 line chart for one density from the
+// computed rows (other densities in the input are ignored).
+func Fig5Chart(rows []Fig5Row, n float64) (*plot.Chart, error) {
+	var x, orts, dd, do []float64
+	for _, r := range rows {
+		if r.N != n {
+			continue
+		}
+		x = append(x, r.BeamwidthDeg)
+		orts = append(orts, r.ORTSOCTS)
+		dd = append(dd, r.DRTSDCTS)
+		do = append(do, r.DRTSOCTS)
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("experiments: no Fig. 5 rows for N=%v", n)
+	}
+	return &plot.Chart{
+		Title:  fmt.Sprintf("Fig. 5 — max throughput vs beamwidth (N=%g)", n),
+		XLabel: "beamwidth (degrees)",
+		YLabel: "normalized max throughput",
+		Series: []plot.Series{
+			{Name: "ORTS-OCTS", X: x, Y: orts},
+			{Name: "DRTS-DCTS", X: x, Y: dd},
+			{Name: "DRTS-OCTS", X: x, Y: do},
+		},
+	}, nil
+}
+
+// GridChart builds a Fig. 6/7-style chart for one density from grid
+// cells: beamwidth on x, one series per scheme, min–max range whiskers
+// over the topologies (the paper's vertical lines).
+func GridChart(cells []GridCell, n int, m Metric) (*plot.Chart, error) {
+	bySch := map[core.Scheme]map[float64]GridCell{}
+	var beams []float64
+	seenB := map[float64]bool{}
+	for _, c := range cells {
+		if c.N != n {
+			continue
+		}
+		if bySch[c.Scheme] == nil {
+			bySch[c.Scheme] = map[float64]GridCell{}
+		}
+		bySch[c.Scheme][c.BeamwidthDeg] = c
+		if !seenB[c.BeamwidthDeg] {
+			seenB[c.BeamwidthDeg] = true
+			beams = append(beams, c.BeamwidthDeg)
+		}
+	}
+	if len(beams) == 0 {
+		return nil, fmt.Errorf("experiments: no grid cells for N=%d", n)
+	}
+	sort.Float64s(beams)
+	chart := &plot.Chart{
+		Title:  fmt.Sprintf("%s (N=%d)", m, n),
+		XLabel: "beamwidth (degrees)",
+		YLabel: m.String(),
+	}
+	for _, s := range core.Schemes() {
+		perBeam, ok := bySch[s]
+		if !ok {
+			continue
+		}
+		var x, y, lo, hi []float64
+		for _, b := range beams {
+			c, ok := perBeam[b]
+			if !ok {
+				continue
+			}
+			mean, cmin, cmax := m.value(c)
+			x = append(x, b)
+			y = append(y, mean)
+			lo = append(lo, cmin)
+			hi = append(hi, cmax)
+		}
+		chart.Series = append(chart.Series, plot.Series{
+			Name: s.String(), X: x, Y: y, YLow: lo, YHigh: hi,
+		})
+	}
+	return chart, nil
+}
+
+// WriteFigureSVGs renders fig5 (per N) and, when grid cells are given,
+// fig6/fig7-style charts per N, through the provided creator function
+// (typically writing files named by the first argument).
+func WriteFigureSVGs(create func(name string) (io.WriteCloser, error), rows []Fig5Row, cells []GridCell) error {
+	seenN := map[float64]bool{}
+	for _, r := range rows {
+		if seenN[r.N] {
+			continue
+		}
+		seenN[r.N] = true
+		chart, err := Fig5Chart(rows, r.N)
+		if err != nil {
+			return err
+		}
+		if err := writeChart(create, fmt.Sprintf("fig5_n%g.svg", r.N), chart); err != nil {
+			return err
+		}
+	}
+	seenGridN := map[int]bool{}
+	for _, c := range cells {
+		if seenGridN[c.N] {
+			continue
+		}
+		seenGridN[c.N] = true
+		for name, m := range map[string]Metric{"fig6": MetricThroughput, "fig7": MetricDelay} {
+			chart, err := GridChart(cells, c.N, m)
+			if err != nil {
+				return err
+			}
+			if err := writeChart(create, fmt.Sprintf("%s_n%d.svg", name, c.N), chart); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeChart(create func(name string) (io.WriteCloser, error), name string, chart *plot.Chart) error {
+	f, err := create(name)
+	if err != nil {
+		return err
+	}
+	if err := chart.SVG(f); err != nil {
+		f.Close()
+		return fmt.Errorf("render %s: %w", name, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// JSON export of every artifact, for plotting pipelines and regression
+// archives. Field names are stable contracts (tagged explicitly).
+
+// fig5JSON is the serialized form of a Fig5Row.
+type fig5JSON struct {
+	N            float64 `json:"n"`
+	BeamwidthDeg float64 `json:"thetaDeg"`
+	ORTSOCTS     float64 `json:"ortsOcts"`
+	DRTSDCTS     float64 `json:"drtsDcts"`
+	DRTSOCTS     float64 `json:"drtsOcts"`
+}
+
+// WriteFig5JSON emits the analytical table as a JSON array.
+func WriteFig5JSON(w io.Writer, rows []Fig5Row) error {
+	out := make([]fig5JSON, len(rows))
+	for i, r := range rows {
+		out[i] = fig5JSON{
+			N: r.N, BeamwidthDeg: r.BeamwidthDeg,
+			ORTSOCTS: r.ORTSOCTS, DRTSDCTS: r.DRTSDCTS, DRTSOCTS: r.DRTSOCTS,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// summaryJSON serializes a stats.Summary.
+type summaryJSON struct {
+	Mean  float64 `json:"mean"`
+	Std   float64 `json:"std"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	CI95  float64 `json:"ci95"`
+	Count int64   `json:"count"`
+}
+
+func toSummaryJSON(s stats.Summary) summaryJSON {
+	return summaryJSON{Mean: s.Mean, Std: s.Std, Min: s.Min, Max: s.Max, CI95: s.CI95, Count: s.Count}
+}
+
+// gridJSON is the serialized form of a GridCell.
+type gridJSON struct {
+	Scheme         string      `json:"scheme"`
+	N              int         `json:"n"`
+	BeamwidthDeg   float64     `json:"thetaDeg"`
+	Runs           int         `json:"runs"`
+	ThroughputBps  summaryJSON `json:"throughputBps"`
+	DelaySec       summaryJSON `json:"delaySec"`
+	CollisionRatio summaryJSON `json:"collisionRatio"`
+	Jain           summaryJSON `json:"jain"`
+}
+
+// WriteGridJSON emits the simulation grid as a JSON array.
+func WriteGridJSON(w io.Writer, cells []GridCell) error {
+	if len(cells) == 0 {
+		return fmt.Errorf("experiments: empty grid")
+	}
+	out := make([]gridJSON, len(cells))
+	for i, c := range cells {
+		out[i] = gridJSON{
+			Scheme:         c.Scheme.String(),
+			N:              c.N,
+			BeamwidthDeg:   c.BeamwidthDeg,
+			Runs:           c.Batch.Runs,
+			ThroughputBps:  toSummaryJSON(c.Batch.ThroughputBps),
+			DelaySec:       toSummaryJSON(c.Batch.DelaySec),
+			CollisionRatio: toSummaryJSON(c.Batch.CollisionRatio),
+			Jain:           toSummaryJSON(c.Batch.Jain),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// modelVsSimJSON is the serialized form of a ModelVsSimRow.
+type modelVsSimJSON struct {
+	Scheme       string  `json:"scheme"`
+	N            int     `json:"n"`
+	BeamwidthDeg float64 `json:"thetaDeg"`
+	Analytical   float64 `json:"analytical"`
+	Simulated    float64 `json:"simulated"`
+}
+
+// WriteModelVsSimJSON emits the validation table plus the rank
+// correlation as one JSON document.
+func WriteModelVsSimJSON(w io.Writer, rows []ModelVsSimRow) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("experiments: empty model-vs-sim table")
+	}
+	doc := struct {
+		Rows     []modelVsSimJSON `json:"rows"`
+		Spearman float64          `json:"spearmanRank"`
+	}{Spearman: SpearmanRank(rows)}
+	for _, r := range rows {
+		doc.Rows = append(doc.Rows, modelVsSimJSON{
+			Scheme: r.Scheme.String(), N: r.N, BeamwidthDeg: r.BeamwidthDeg,
+			Analytical: r.Analytical, Simulated: r.Simulated,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

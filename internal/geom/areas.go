@@ -1,0 +1,115 @@
+package geom
+
+import "math"
+
+// The closed-form region areas below come from the paper (Section 2) and
+// from Takagi & Kleinrock's analysis of randomly distributed packet-radio
+// terminals. All distances are normalized so that the transmission range
+// R = 1, and all areas are normalized by the coverage disk area πR², so a
+// returned "area" is the fraction of a full coverage disk.
+
+// QFunc is the lens helper q(t) = arccos(t) − t·sqrt(1−t²) used by the
+// Takagi–Kleinrock hidden-area formula. It is defined for t in [0, 1] and
+// decreases from π/2 at t=0 to 0 at t=1. Inputs are clamped to [0, 1].
+func QFunc(t float64) float64 {
+	if t <= 0 {
+		return math.Pi / 2
+	}
+	if t >= 1 {
+		return 0
+	}
+	return math.Acos(t) - t*math.Sqrt(1-t*t)
+}
+
+// HiddenArea returns B(r)/(πR²): the fraction of the receiver's coverage
+// disk that is outside the sender's coverage disk (the hidden-terminal
+// region), for a sender–receiver distance r in [0, 1]:
+//
+//	B(r) = πR² − 2R²·q(r/2R)  ⇒  B(r)/πR² = 1 − 2q(r/2)/π  (R = 1).
+func HiddenArea(r float64) float64 {
+	return 1 - 2*QFunc(r/2)/math.Pi
+}
+
+// CommonArea returns the fraction of a coverage disk covered by the
+// intersection of two unit-radius disks whose centers are r apart:
+// 2q(r/2)/π. It is the complement of HiddenArea.
+func CommonArea(r float64) float64 {
+	return 2 * QFunc(r/2) / math.Pi
+}
+
+// DDAreas holds the five normalized region areas of the DRTS-DCTS analysis
+// (Fig. 3 of the paper) for a sender x and receiver y at distance r with
+// transmission beamwidth theta. Areas are fractions of πR².
+type DDAreas struct {
+	I   float64 // nodes that can hit y, unaware of x's directional RTS
+	II  float64 // forward sector overlap: must stay quiet toward y
+	III float64 // common coverage outside the beam corridor
+	IV  float64 // hidden from x: interferes while y transmits CTS/ACK
+	V   float64 // hidden from y: interferes while x transmits RTS/DATA
+}
+
+// DRTSDCTSAreas computes the DDAreas for distance r in [0, 1] and
+// beamwidth theta in (0, 2π]. The paper's raw expressions are
+//
+//	S_I   = θ/2π
+//	S_II  = θ/2π − r²·tan(θ/2)/2π
+//	S_III = 2q(r/2)/π − θ/π + r²·tan(θ/2)/2π
+//	S_IV  = S_V = 1 − 2q(r/2)/π
+//
+// The triangle term r²·tan(θ/2) diverges as θ→π and the raw S_II/S_III go
+// negative for wide beams, so this implementation clamps each of S_II and
+// S_III to be non-negative while preserving their sum
+// S_II+S_III = 2q(r/2)/π − θ/2π (itself clamped at 0 when the beam covers
+// the whole common region). This keeps the model numerically meaningful
+// across the paper's full 15°–180° sweep.
+func DRTSDCTSAreas(r, theta float64) DDAreas {
+	var (
+		sI     = theta / (2 * math.Pi)
+		hidden = HiddenArea(r)
+		union  = CommonArea(r) - theta/(2*math.Pi) // S_II + S_III
+	)
+	if union < 0 {
+		union = 0
+	}
+	// Split the union using the paper's triangle approximation where it is
+	// well behaved (θ < π), clamping the split into [0, union].
+	sII := 0.0
+	if theta < math.Pi {
+		sII = (theta - r*r*math.Tan(theta/2)) / (2 * math.Pi)
+		if sII < 0 {
+			sII = 0
+		}
+		if sII > union {
+			sII = union
+		}
+	}
+	return DDAreas{
+		I:   sI,
+		II:  sII,
+		III: union - sII,
+		IV:  hidden,
+		V:   hidden,
+	}
+}
+
+// DOAreas holds the three normalized region areas of the DRTS-OCTS analysis
+// (Fig. 4 of the paper). Areas are fractions of πR².
+type DOAreas struct {
+	I   float64 // nodes in the RTS beam footprint near y
+	II  float64 // everywhere else in x's disk: silenced only toward y
+	III float64 // hidden from x: interferes while y transmits CTS/ACK
+}
+
+// DRTSOCTSAreas computes the DOAreas for distance r in [0, 1] and
+// beamwidth theta in (0, 2π]:
+//
+//	S_I   = θ/2π
+//	S_II  = 1 − θ/2π
+//	S_III = 1 − 2q(r/2)/π
+func DRTSOCTSAreas(r, theta float64) DOAreas {
+	return DOAreas{
+		I:   theta / (2 * math.Pi),
+		II:  1 - theta/(2*math.Pi),
+		III: HiddenArea(r),
+	}
+}

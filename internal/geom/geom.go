@@ -1,0 +1,103 @@
+// Package geom provides the planar geometry used by both the analytical
+// model and the network simulator: points and vectors, angle arithmetic on
+// the circle, beam (sector) containment tests, and the closed-form region
+// areas from the Takagi–Kleinrock model that the paper builds on.
+//
+// Throughout the package, angles are in radians and bearings are measured
+// counter-clockwise from the positive x axis in (-π, π].
+package geom
+
+import "math"
+
+// Point is a location on the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p translated by the vector v.
+func (p Point) Add(v Vec) Point {
+	return Point{X: p.X + v.X, Y: p.Y + v.Y}
+}
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Vec {
+	return Vec{X: p.X - q.X, Y: p.Y - q.Y}
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root on hot paths such as neighbor scans.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Bearing returns the angle of the direction from p to q in (-π, π].
+// Bearing of a point to itself is 0 by convention.
+func (p Point) Bearing(q Point) float64 {
+	if p == q {
+		return 0
+	}
+	return math.Atan2(q.Y-p.Y, q.X-p.X)
+}
+
+// Vec is a displacement on the plane.
+type Vec struct {
+	X, Y float64
+}
+
+// Scale returns v scaled by k.
+func (v Vec) Scale(k float64) Vec {
+	return Vec{X: v.X * k, Y: v.Y * k}
+}
+
+// Len returns the Euclidean length of v.
+func (v Vec) Len() float64 {
+	return math.Hypot(v.X, v.Y)
+}
+
+// Angle returns the direction of v in (-π, π]. The zero vector maps to 0.
+func (v Vec) Angle() float64 {
+	if v.X == 0 && v.Y == 0 {
+		return 0
+	}
+	return math.Atan2(v.Y, v.X)
+}
+
+// Polar returns the point at distance r and bearing theta from the origin
+// point o.
+func Polar(o Point, r, theta float64) Point {
+	return Point{X: o.X + r*math.Cos(theta), Y: o.Y + r*math.Sin(theta)}
+}
+
+// NormalizeAngle maps an angle to the canonical interval (-π, π].
+func NormalizeAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	switch {
+	case a <= -math.Pi:
+		a += 2 * math.Pi
+	case a > math.Pi:
+		a -= 2 * math.Pi
+	}
+	return a
+}
+
+// AngleDiff returns the signed smallest rotation taking angle b to angle a,
+// in (-π, π].
+func AngleDiff(a, b float64) float64 {
+	return NormalizeAngle(a - b)
+}
+
+// WithinBeam reports whether the direction dir lies inside a beam of total
+// width beamwidth centered on bearing. The beam edges are inclusive. A
+// beamwidth of at least 2π always contains every direction.
+func WithinBeam(bearing, beamwidth, dir float64) bool {
+	if beamwidth >= 2*math.Pi {
+		return true
+	}
+	return math.Abs(AngleDiff(dir, bearing)) <= beamwidth/2+1e-12
+}

@@ -1,0 +1,345 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestPointDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Point{1, 2}, Point{1, 2}, 0},
+		{"unit x", Point{0, 0}, Point{1, 0}, 1},
+		{"unit y", Point{0, 0}, Point{0, 1}, 1},
+		{"3-4-5", Point{0, 0}, Point{3, 4}, 5},
+		{"negative coords", Point{-1, -1}, Point{2, 3}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Dist(tt.q); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Dist(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want)
+			}
+			if got := tt.p.Dist2(tt.q); !almostEqual(got, tt.want*tt.want, 1e-12) {
+				t.Errorf("Dist2(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want*tt.want)
+			}
+		})
+	}
+}
+
+func TestDistSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		p, q := Point{ax, ay}, Point{bx, by}
+		return p.Dist(q) == q.Dist(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBearing(t *testing.T) {
+	o := Point{0, 0}
+	tests := []struct {
+		name string
+		q    Point
+		want float64
+	}{
+		{"east", Point{1, 0}, 0},
+		{"north", Point{0, 1}, math.Pi / 2},
+		{"west", Point{-1, 0}, math.Pi},
+		{"south", Point{0, -1}, -math.Pi / 2},
+		{"northeast", Point{1, 1}, math.Pi / 4},
+		{"self", Point{0, 0}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := o.Bearing(tt.q); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Bearing(%v) = %v, want %v", tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPolarRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		o := Point{rng.Float64()*10 - 5, rng.Float64()*10 - 5}
+		r := rng.Float64()*5 + 0.01
+		theta := rng.Float64()*2*math.Pi - math.Pi
+		p := Polar(o, r, theta)
+		if got := o.Dist(p); !almostEqual(got, r, 1e-9) {
+			t.Fatalf("Polar distance = %v, want %v", got, r)
+		}
+		if got := o.Bearing(p); math.Abs(AngleDiff(got, theta)) > 1e-9 {
+			t.Fatalf("Polar bearing = %v, want %v", got, theta)
+		}
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	v := Point{3, 4}.Sub(Point{0, 0})
+	if v.Len() != 5 {
+		t.Errorf("Len = %v, want 5", v.Len())
+	}
+	w := v.Scale(2)
+	if w.X != 6 || w.Y != 8 {
+		t.Errorf("Scale = %v, want {6 8}", w)
+	}
+	if got := (Vec{0, 0}).Angle(); got != 0 {
+		t.Errorf("zero vector Angle = %v, want 0", got)
+	}
+	p := Point{1, 1}.Add(Vec{2, -1})
+	if p != (Point{3, 0}) {
+		t.Errorf("Add = %v, want {3 0}", p)
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	tests := []struct {
+		in, want float64
+	}{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{3 * math.Pi, math.Pi},
+		{-3 * math.Pi, math.Pi},
+		{math.Pi / 2, math.Pi / 2},
+		{5 * math.Pi / 2, math.Pi / 2},
+		{-math.Pi / 2, -math.Pi / 2},
+	}
+	for _, tt := range tests {
+		if got := NormalizeAngle(tt.in); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestNormalizeAngleProperty(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e9 {
+			return true // out of the domain we care about
+		}
+		got := NormalizeAngle(a)
+		if got <= -math.Pi || got > math.Pi {
+			return false
+		}
+		// Same direction: sin and cos must agree.
+		return almostEqual(math.Sin(got), math.Sin(a), 1e-6) &&
+			almostEqual(math.Cos(got), math.Cos(a), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithinBeam(t *testing.T) {
+	tests := []struct {
+		name                    string
+		bearing, beamwidth, dir float64
+		want                    bool
+	}{
+		{"center of beam", 0, math.Pi / 2, 0, true},
+		{"on +edge", 0, math.Pi / 2, math.Pi / 4, true},
+		{"on -edge", 0, math.Pi / 2, -math.Pi / 4, true},
+		{"just outside", 0, math.Pi / 2, math.Pi/4 + 0.01, false},
+		{"opposite", 0, math.Pi / 2, math.Pi, false},
+		{"wraparound inside", math.Pi, math.Pi / 2, -math.Pi + 0.1, true},
+		{"wraparound outside", math.Pi, math.Pi / 2, 0, false},
+		{"full circle", 1.0, 2 * math.Pi, -2.0, true},
+		{"wider than circle", 1.0, 7.0, -2.0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := WithinBeam(tt.bearing, tt.beamwidth, tt.dir); got != tt.want {
+				t.Errorf("WithinBeam(%v, %v, %v) = %v, want %v",
+					tt.bearing, tt.beamwidth, tt.dir, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestWithinBeamFraction checks that a beam of width θ contains a fraction
+// θ/2π of uniformly random directions.
+func TestWithinBeamFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, theta := range []float64{math.Pi / 6, math.Pi / 2, math.Pi, 3 * math.Pi / 2} {
+		bearing := rng.Float64()*2*math.Pi - math.Pi
+		const n = 200000
+		in := 0
+		for i := 0; i < n; i++ {
+			dir := rng.Float64()*2*math.Pi - math.Pi
+			if WithinBeam(bearing, theta, dir) {
+				in++
+			}
+		}
+		got := float64(in) / n
+		want := theta / (2 * math.Pi)
+		if !almostEqual(got, want, 0.01) {
+			t.Errorf("beam θ=%v: fraction = %v, want ≈ %v", theta, got, want)
+		}
+	}
+}
+
+func TestQFunc(t *testing.T) {
+	if got := QFunc(0); !almostEqual(got, math.Pi/2, 1e-12) {
+		t.Errorf("QFunc(0) = %v, want π/2", got)
+	}
+	if got := QFunc(1); got != 0 {
+		t.Errorf("QFunc(1) = %v, want 0", got)
+	}
+	if got := QFunc(-1); !almostEqual(got, math.Pi/2, 1e-12) {
+		t.Errorf("QFunc(-1) clamps to %v, want π/2", got)
+	}
+	if got := QFunc(2); got != 0 {
+		t.Errorf("QFunc(2) clamps to %v, want 0", got)
+	}
+	// Monotonically decreasing on [0, 1].
+	prev := QFunc(0)
+	for i := 1; i <= 100; i++ {
+		cur := QFunc(float64(i) / 100)
+		if cur > prev {
+			t.Fatalf("QFunc not decreasing at t=%v", float64(i)/100)
+		}
+		prev = cur
+	}
+}
+
+// TestHiddenAreaMonteCarlo cross-checks the closed form B(r)/πR² against a
+// Monte-Carlo estimate of the area inside the receiver's disk but outside
+// the sender's disk.
+func TestHiddenAreaMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, r := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.0} {
+		sender := Point{0, 0}
+		receiver := Point{r, 0}
+		const n = 400000
+		hidden := 0
+		for i := 0; i < n; i++ {
+			// Uniform point in the receiver's unit disk.
+			a := rng.Float64() * 2 * math.Pi
+			d := math.Sqrt(rng.Float64())
+			p := Polar(receiver, d, a)
+			if p.Dist(sender) > 1 {
+				hidden++
+			}
+		}
+		got := float64(hidden) / n
+		want := HiddenArea(r)
+		if !almostEqual(got, want, 0.01) {
+			t.Errorf("HiddenArea(%v) = %v, Monte-Carlo %v", r, want, got)
+		}
+	}
+}
+
+func TestHiddenAreaLimits(t *testing.T) {
+	if got := HiddenArea(0); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("HiddenArea(0) = %v, want 0", got)
+	}
+	// At r=1: 1 − 2q(1/2)/π where q(1/2) = π/3 − √3/4.
+	want := 1 - 2*(math.Pi/3-math.Sqrt(3)/4)/math.Pi
+	if got := HiddenArea(1); !almostEqual(got, want, 1e-12) {
+		t.Errorf("HiddenArea(1) = %v, want %v", got, want)
+	}
+	// Complement relation.
+	for _, r := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := HiddenArea(r) + CommonArea(r); !almostEqual(got, 1, 1e-12) {
+			t.Errorf("HiddenArea+CommonArea at r=%v = %v, want 1", r, got)
+		}
+	}
+}
+
+func TestHiddenAreaMonotone(t *testing.T) {
+	prev := HiddenArea(0)
+	for i := 1; i <= 100; i++ {
+		cur := HiddenArea(float64(i) / 100)
+		if cur < prev {
+			t.Fatalf("HiddenArea not increasing at r=%v", float64(i)/100)
+		}
+		prev = cur
+	}
+}
+
+func TestDRTSDCTSAreasInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		r := rng.Float64()
+		theta := rng.Float64()*2*math.Pi + 1e-6
+		a := DRTSDCTSAreas(r, theta)
+		for name, v := range map[string]float64{
+			"I": a.I, "II": a.II, "III": a.III, "IV": a.IV, "V": a.V,
+		} {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("area %s negative or NaN: %v (r=%v θ=%v)", name, v, r, theta)
+			}
+		}
+		// II+III must equal the clamped union regardless of the split.
+		union := CommonArea(r) - theta/(2*math.Pi)
+		if union < 0 {
+			union = 0
+		}
+		if !almostEqual(a.II+a.III, union, 1e-9) {
+			t.Fatalf("II+III = %v, want %v (r=%v θ=%v)", a.II+a.III, union, r, theta)
+		}
+		if !almostEqual(a.IV, a.V, 0) {
+			t.Fatalf("IV != V")
+		}
+		if !almostEqual(a.IV, HiddenArea(r), 1e-12) {
+			t.Fatalf("IV = %v, want HiddenArea(%v) = %v", a.IV, r, HiddenArea(r))
+		}
+	}
+}
+
+func TestDRTSDCTSAreasNarrowBeam(t *testing.T) {
+	// For a narrow beam and small r, the paper's triangle split should be
+	// active: S_II slightly below θ/2π, S_III the remainder.
+	a := DRTSDCTSAreas(0.3, math.Pi/6)
+	rawII := (math.Pi/6 - 0.3*0.3*math.Tan(math.Pi/12)) / (2 * math.Pi)
+	if !almostEqual(a.II, rawII, 1e-12) {
+		t.Errorf("narrow-beam S_II = %v, want raw %v", a.II, rawII)
+	}
+	if a.II <= 0 || a.III <= 0 {
+		t.Errorf("narrow-beam areas should both be positive: %+v", a)
+	}
+}
+
+func TestDRTSOCTSAreas(t *testing.T) {
+	a := DRTSOCTSAreas(0.5, math.Pi/2)
+	if !almostEqual(a.I, 0.25, 1e-12) {
+		t.Errorf("S_I = %v, want 0.25", a.I)
+	}
+	if !almostEqual(a.II, 0.75, 1e-12) {
+		t.Errorf("S_II = %v, want 0.75", a.II)
+	}
+	if !almostEqual(a.III, HiddenArea(0.5), 1e-12) {
+		t.Errorf("S_III = %v, want %v", a.III, HiddenArea(0.5))
+	}
+	if !almostEqual(a.I+a.II, 1, 1e-12) {
+		t.Errorf("S_I+S_II = %v, want 1", a.I+a.II)
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	tests := []struct {
+		a, b, want float64
+	}{
+		{0, 0, 0},
+		{math.Pi / 2, 0, math.Pi / 2},
+		{0, math.Pi / 2, -math.Pi / 2},
+		{-3, 3, 2*math.Pi - 6},
+		{math.Pi, -math.Pi, 0},
+	}
+	for _, tt := range tests {
+		if got := AngleDiff(tt.a, tt.b); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("AngleDiff(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package montecarlo validates the analytical model by re-implementing
+// the paper's Section 2 assumptions literally and estimating the
+// handshake success probability P_ws by simulation, independently of the
+// closed forms in internal/core.
+//
+// Two validators are provided:
+//
+//   - EstimatePws draws Poisson region populations and per-slot Bernoulli
+//     transmission decisions exactly as Section 2's conditions describe,
+//     for all three schemes (region sizes come from internal/geom).
+//
+//   - EstimatePwsGeometric, for ORTS-OCTS only, goes one level deeper: it
+//     samples actual interferer positions on the plane and applies the
+//     geometric conditions directly, validating the area formulas
+//     themselves.
+//
+// The package also exposes ExactPws, the closed form obtained WITHOUT the
+// paper's linearization: the paper writes node survival over a window of
+// T slots as e^{−p·S·N·T}, which is the first-order approximation of the
+// exact thinned-Poisson expression e^{−S·N·(1−(1−p)^T)}. ExactPws lets
+// callers quantify that internal approximation (the paper's form
+// overestimates interference, so core's P_ws is a lower bound).
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/numeric"
+)
+
+// region is one interference region: normalized size, per-node survival
+// probability over the whole vulnerable window.
+type region struct {
+	size     float64
+	survival float64
+}
+
+// regionsFor returns the per-scheme interference regions at
+// sender–receiver distance r, mirroring Section 2's conditions.
+func regionsFor(s core.Scheme, p float64, pr core.Params, r float64) ([]region, error) {
+	var (
+		l    = pr.Lengths
+		pDir = p * pr.Beamwidth / (2 * math.Pi)
+		pow  = math.Pow
+	)
+	switch s {
+	case core.ORTSOCTS:
+		return []region{
+			// Whole disk of x: silent in the initiating slot.
+			{size: 1, survival: 1 - p},
+			// Hidden region B(r): silent for 2·l_rts+1 slots.
+			{size: geom.HiddenArea(r), survival: pow(1-p, float64(2*l.RTS+1))},
+		}, nil
+	case core.DRTSDCTS:
+		a := geom.DRTSDCTSAreas(r, pr.Beamwidth)
+		return []region{
+			{size: a.I, survival: 1 - p},
+			{size: a.II, survival: pow(1-pDir, float64(2*l.RTS)) * (1 - p)},
+			{size: a.III, survival: pow(1-pDir, float64(2*l.RTS+l.CTS+l.Data+l.ACK+4))},
+			{size: a.IV, survival: pow(1-pDir, float64(2*l.RTS+l.CTS+l.ACK+2))},
+			{size: a.V, survival: pow(1-pDir, float64(3*l.RTS+l.Data+2))},
+		}, nil
+	case core.DRTSOCTS:
+		a := geom.DRTSOCTSAreas(r, pr.Beamwidth)
+		return []region{
+			{size: a.I, survival: 1 - p},
+			{size: a.II, survival: pow(1-pDir, float64(2*l.RTS)) * (1 - p)},
+			{size: a.III, survival: pow(1-pDir, float64(2*l.RTS+l.CTS+l.ACK+2))},
+		}, nil
+	default:
+		return nil, fmt.Errorf("montecarlo: unsupported scheme %v", s)
+	}
+}
+
+// EstimatePws estimates P_ws for the scheme at attempt probability p by
+// Monte-Carlo over the paper's assumptions: sender–receiver distance
+// r ~ 2r dr, Poisson(region size × N) interferers per region, and
+// independent per-slot transmissions. trials must be positive.
+func EstimatePws(rng *rand.Rand, s core.Scheme, p float64, pr core.Params, trials int) (float64, error) {
+	if err := pr.Validate(); err != nil {
+		return 0, err
+	}
+	if p <= 0 || p >= 1 {
+		return 0, core.ErrBadP
+	}
+	if trials < 1 {
+		return 0, fmt.Errorf("montecarlo: trials must be positive, got %d", trials)
+	}
+	if _, err := regionsFor(s, p, pr, 0.5); err != nil {
+		return 0, err
+	}
+	succ := 0
+	for i := 0; i < trials; i++ {
+		// x transmits and y listens.
+		if rng.Float64() >= p {
+			continue
+		}
+		if rng.Float64() < p {
+			continue
+		}
+		r := math.Sqrt(rng.Float64()) // density f(r) = 2r
+		regions, err := regionsFor(s, p, pr, r)
+		if err != nil {
+			return 0, err
+		}
+		ok := true
+		for _, reg := range regions {
+			k := poisson(rng, reg.size*pr.N)
+			for j := 0; j < k; j++ {
+				if rng.Float64() >= reg.survival {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			succ++
+		}
+	}
+	return float64(succ) / float64(trials), nil
+}
+
+// EstimatePwsGeometric estimates ORTS-OCTS's P_ws by sampling actual
+// interferer positions (a Poisson field over a disk covering both
+// coverage areas) and applying the geometric conditions directly,
+// validating the B(r) area formula along the way.
+func EstimatePwsGeometric(rng *rand.Rand, p float64, pr core.Params, trials int) (float64, error) {
+	if err := pr.Validate(); err != nil {
+		return 0, err
+	}
+	if p <= 0 || p >= 1 {
+		return 0, core.ErrBadP
+	}
+	if trials < 1 {
+		return 0, fmt.Errorf("montecarlo: trials must be positive, got %d", trials)
+	}
+	var (
+		l       = pr.Lengths
+		rtsWin  = 2*l.RTS + 1
+		fieldR  = 2.5 // covers x's and y's unit disks for any r ≤ 1
+		fieldA  = math.Pi * fieldR * fieldR
+		density = pr.N / math.Pi // nodes per unit area (N per unit disk)
+	)
+	succ := 0
+	for i := 0; i < trials; i++ {
+		if rng.Float64() >= p {
+			continue
+		}
+		if rng.Float64() < p {
+			continue
+		}
+		r := math.Sqrt(rng.Float64())
+		x := geom.Point{}
+		y := geom.Point{X: r}
+		k := poisson(rng, density*fieldA)
+		ok := true
+		for j := 0; j < k && ok; j++ {
+			pos := geom.Polar(geom.Point{}, fieldR*math.Sqrt(rng.Float64()), rng.Float64()*2*math.Pi)
+			inX := pos.Dist(x) <= 1
+			inY := pos.Dist(y) <= 1
+			switch {
+			case inX:
+				// Hears x: must be silent only in the initiating slot.
+				if rng.Float64() < p {
+					ok = false
+				}
+			case inY:
+				// Hidden terminal: must be silent through the RTS window.
+				for t := 0; t < rtsWin; t++ {
+					if rng.Float64() < p {
+						ok = false
+						break
+					}
+				}
+			}
+		}
+		if ok {
+			succ++
+		}
+	}
+	return float64(succ) / float64(trials), nil
+}
+
+// ExactPws evaluates the closed form without the paper's window
+// linearization: node survival over T slots enters as the exact thinning
+// e^{−S·N·(1−survival)} instead of e^{−S·N·q·T}. It upper-bounds the
+// paper's P_ws and converges to it as p → 0.
+func ExactPws(s core.Scheme, p float64, pr core.Params) (float64, error) {
+	if err := pr.Validate(); err != nil {
+		return 0, err
+	}
+	if p <= 0 || p >= 1 {
+		return 0, core.ErrBadP
+	}
+	integrand := func(r float64) float64 {
+		regions, err := regionsFor(s, p, pr, r)
+		if err != nil {
+			return 0
+		}
+		v := 2 * r
+		for _, reg := range regions {
+			v *= math.Exp(-reg.size * pr.N * (1 - reg.survival))
+		}
+		return v
+	}
+	integral, err := numeric.Integrate(integrand, 0, 1, 512)
+	if err != nil {
+		return 0, err
+	}
+	return p * (1 - p) * integral, nil
+}
+
+// poisson draws from a Poisson distribution with the given mean (Knuth's
+// method; means here are small, ≤ ~60).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	limit := math.Exp(-mean)
+	k := 0
+	prod := rng.Float64()
+	for prod > limit {
+		k++
+		prod *= rng.Float64()
+	}
+	return k
+}

@@ -1,0 +1,162 @@
+package montecarlo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func params(n, thetaDeg float64) core.Params {
+	return core.Params{N: n, Beamwidth: thetaDeg * math.Pi / 180, Lengths: core.PaperLengths()}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, mean := range []float64{0.5, 2, 10, 40} {
+		var sum float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += float64(poisson(rng, mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean)/mean > 0.05 {
+			t.Errorf("poisson mean %v: sample mean %v", mean, got)
+		}
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Error("non-positive mean should give 0")
+	}
+}
+
+// TestMCMatchesExactClosedForm: the region-count Monte-Carlo and the
+// exact thinned-Poisson closed form implement the same model, so they
+// must agree within sampling error for every scheme.
+func TestMCMatchesExactClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pr := params(5, 60)
+	const trials = 400000
+	for _, s := range core.Schemes() {
+		mc, err := EstimatePws(rng, s, 0.02, pr, trials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := ExactPws(s, 0.02, pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Standard error of the MC estimate ≈ sqrt(q(1-q)/trials); allow 5σ.
+		se := math.Sqrt(exact * (1 - exact) / trials)
+		if math.Abs(mc-exact) > 5*se+1e-5 {
+			t.Errorf("%v: MC %v vs exact %v (se %v)", s, mc, exact, se)
+		}
+	}
+}
+
+// TestGeometricMCValidatesAreas: the position-sampling estimator for
+// ORTS-OCTS must agree with the exact closed form, confirming the B(r)
+// area formula end to end.
+func TestGeometricMCValidatesAreas(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pr := params(5, 60)
+	const trials = 400000
+	mc, err := EstimatePwsGeometric(rng, 0.02, pr, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ExactPws(core.ORTSOCTS, 0.02, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := math.Sqrt(exact * (1 - exact) / trials)
+	if math.Abs(mc-exact) > 5*se+1e-5 {
+		t.Errorf("geometric MC %v vs exact %v (se %v)", mc, exact, se)
+	}
+}
+
+// TestPaperLinearizationIsConservative quantifies the paper's internal
+// approximation: writing window survival as e^{−p·S·N·T} (first order)
+// instead of the exact e^{−S·N·(1−(1−p)^T)} overestimates interference,
+// so the paper's P_ws must lower-bound the exact one — and converge to
+// it as p → 0.
+func TestPaperLinearizationIsConservative(t *testing.T) {
+	pr := params(5, 60)
+	for _, s := range core.Schemes() {
+		for _, p := range []float64{0.001, 0.01, 0.05} {
+			st, err := core.Solve(s, p, pr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := ExactPws(s, p, pr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Pws > exact*(1+1e-9) {
+				t.Errorf("%v p=%v: paper P_ws %v exceeds exact %v", s, p, st.Pws, exact)
+			}
+		}
+		// Convergence: the ratio approaches 1 as p shrinks.
+		ratio := func(p float64) float64 {
+			st, err := core.Solve(s, p, pr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := ExactPws(s, p, pr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st.Pws / exact
+		}
+		r1, r2 := ratio(0.02), ratio(0.0005)
+		if !(r2 > r1 && r2 > 0.97) {
+			t.Errorf("%v: linearization not tightening as p→0: ratio(0.02)=%v ratio(0.0005)=%v", s, r1, r2)
+		}
+	}
+}
+
+func TestEstimatePwsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pr := params(5, 60)
+	if _, err := EstimatePws(rng, core.DRTSDCTS, 0, pr, 10); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if _, err := EstimatePws(rng, core.DRTSDCTS, 0.02, pr, 0); err == nil {
+		t.Error("zero trials should fail")
+	}
+	if _, err := EstimatePws(rng, core.Scheme(99), 0.02, pr, 10); err == nil {
+		t.Error("unknown scheme should fail")
+	}
+	bad := pr
+	bad.N = -1
+	if _, err := EstimatePws(rng, core.DRTSDCTS, 0.02, bad, 10); err == nil {
+		t.Error("bad params should fail")
+	}
+	if _, err := EstimatePwsGeometric(rng, 2, pr, 10); err == nil {
+		t.Error("geometric: bad p should fail")
+	}
+	if _, err := EstimatePwsGeometric(rng, 0.02, pr, 0); err == nil {
+		t.Error("geometric: zero trials should fail")
+	}
+	if _, err := ExactPws(core.DRTSDCTS, -1, pr); err == nil {
+		t.Error("exact: bad p should fail")
+	}
+	if _, err := ExactPws(core.DRTSDCTS, 0.02, bad); err == nil {
+		t.Error("exact: bad params should fail")
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	pr := params(3, 90)
+	a, err := EstimatePws(rand.New(rand.NewSource(5)), core.DRTSOCTS, 0.03, pr, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimatePws(rand.New(rand.NewSource(5)), core.DRTSOCTS, 0.03, pr, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed gave %v and %v", a, b)
+	}
+}

@@ -1,0 +1,159 @@
+// Package numeric provides the small numerical-analysis toolkit the
+// analytical model needs: composite Simpson quadrature, golden-section
+// maximization, compensated summation, and the truncated geometric
+// distribution the paper uses for failed-handshake durations.
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrBadInterval is returned when an integration or optimization interval
+// is empty or inverted.
+var ErrBadInterval = errors.New("numeric: interval upper bound not greater than lower bound")
+
+// Integrate computes the integral of f over [a, b] using composite
+// Simpson's rule with n subintervals (n is rounded up to the next even
+// number, minimum 2). The integrands in this repository are smooth, so
+// Simpson converges quickly.
+func Integrate(f func(float64) float64, a, b float64, n int) (float64, error) {
+	if b <= a {
+		return 0, ErrBadInterval
+	}
+	if n < 2 {
+		n = 2
+	}
+	if n%2 != 0 {
+		n++
+	}
+	h := (b - a) / float64(n)
+	var sum KahanSum
+	sum.Add(f(a))
+	sum.Add(f(b))
+	for i := 1; i < n; i++ {
+		x := a + float64(i)*h
+		if i%2 == 1 {
+			sum.Add(4 * f(x))
+		} else {
+			sum.Add(2 * f(x))
+		}
+	}
+	return sum.Value() * h / 3, nil
+}
+
+// MaximizeGolden finds the argmax of a unimodal function f on [a, b] by
+// golden-section search, returning (x, f(x)). It stops when the bracket is
+// narrower than tol (minimum 1e-12).
+func MaximizeGolden(f func(float64) float64, a, b, tol float64) (float64, float64, error) {
+	if b <= a {
+		return 0, 0, ErrBadInterval
+	}
+	if tol < 1e-12 {
+		tol = 1e-12
+	}
+	const invPhi = 0.6180339887498949 // (√5 − 1)/2
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for b-a > tol {
+		if f1 < f2 {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		} else {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		}
+	}
+	x := (a + b) / 2
+	return x, f(x), nil
+}
+
+// MaximizeGrid scans [a, b] at n+1 evenly spaced points and returns the
+// best (x, f(x)). It is the brute-force baseline for MaximizeGolden and is
+// robust to non-unimodal f.
+func MaximizeGrid(f func(float64) float64, a, b float64, n int) (float64, float64, error) {
+	if b <= a {
+		return 0, 0, ErrBadInterval
+	}
+	if n < 1 {
+		n = 1
+	}
+	bestX, bestF := a, f(a)
+	for i := 1; i <= n; i++ {
+		x := a + (b-a)*float64(i)/float64(n)
+		if v := f(x); v > bestF {
+			bestX, bestF = x, v
+		}
+	}
+	return bestX, bestF, nil
+}
+
+// MaximizeHybrid combines a coarse grid scan with golden-section
+// refinement around the best grid cell. It tolerates mild deviations from
+// unimodality while converging tightly.
+func MaximizeHybrid(f func(float64) float64, a, b float64, gridN int, tol float64) (float64, float64, error) {
+	x0, _, err := MaximizeGrid(f, a, b, gridN)
+	if err != nil {
+		return 0, 0, err
+	}
+	step := (b - a) / float64(gridN)
+	lo := math.Max(a, x0-step)
+	hi := math.Min(b, x0+step)
+	return MaximizeGolden(f, lo, hi, tol)
+}
+
+// TruncGeomMean returns the mean of a geometric-like distribution with
+// parameter p truncated to the integer support {t1, t1+1, ..., t2}:
+//
+//	E[T] = (1−p)/(1−p^(t2−t1+1)) · Σ_{i=0}^{t2−t1} p^i · (t1+i)
+//
+// This is the paper's equation (3) for the duration of a failed handshake.
+// Degenerate cases: t2 <= t1 returns t1; p <= 0 returns t1 (all mass on the
+// lower bound); p >= 1 returns the midpoint (the distribution becomes
+// uniform in the limit p→1).
+func TruncGeomMean(p float64, t1, t2 int) float64 {
+	if t2 <= t1 {
+		return float64(t1)
+	}
+	if p <= 0 {
+		return float64(t1)
+	}
+	n := t2 - t1 // support has n+1 points
+	if p >= 1 {
+		return float64(t1) + float64(n)/2
+	}
+	var sum KahanSum
+	pi := 1.0
+	for i := 0; i <= n; i++ {
+		sum.Add(pi * float64(t1+i))
+		pi *= p
+	}
+	norm := (1 - p) / (1 - math.Pow(p, float64(n+1)))
+	return norm * sum.Value()
+}
+
+// KahanSum accumulates float64 values with Kahan–Babuška compensation,
+// limiting round-off when summing many terms of mixed magnitude. The zero
+// value is an empty sum ready to use.
+type KahanSum struct {
+	sum, c float64
+}
+
+// Add accumulates v into the sum.
+func (k *KahanSum) Add(v float64) {
+	t := k.sum + v
+	if math.Abs(k.sum) >= math.Abs(v) {
+		k.c += (k.sum - t) + v
+	} else {
+		k.c += (v - t) + k.sum
+	}
+	k.sum = t
+}
+
+// Value returns the compensated sum.
+func (k *KahanSum) Value() float64 {
+	return k.sum + k.c
+}

@@ -1,0 +1,277 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestIntegratePolynomials(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+		want float64
+	}{
+		{"constant", func(x float64) float64 { return 3 }, 0, 2, 6},
+		{"linear", func(x float64) float64 { return x }, 0, 1, 0.5},
+		{"quadratic", func(x float64) float64 { return x * x }, 0, 1, 1.0 / 3},
+		{"cubic exact", func(x float64) float64 { return x * x * x }, -1, 2, 3.75},
+		{"sin over period", math.Sin, 0, 2 * math.Pi, 0},
+		{"exp", math.Exp, 0, 1, math.E - 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Integrate(tt.f, tt.a, tt.b, 200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(got, tt.want, 1e-8) {
+				t.Errorf("Integrate = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIntegrateOddNRoundsUp(t *testing.T) {
+	got, err := Integrate(func(x float64) float64 { return x * x }, 0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 1.0/3, 1e-6) {
+		t.Errorf("Integrate with odd n = %v, want 1/3", got)
+	}
+}
+
+func TestIntegrateBadInterval(t *testing.T) {
+	if _, err := Integrate(math.Sin, 1, 1, 10); err == nil {
+		t.Error("want error for empty interval")
+	}
+	if _, err := Integrate(math.Sin, 2, 1, 10); err == nil {
+		t.Error("want error for inverted interval")
+	}
+}
+
+// TestIntegrateConvergence checks the expected O(h⁴) behaviour of Simpson:
+// doubling n should shrink the error by roughly 16x on a smooth integrand.
+func TestIntegrateConvergence(t *testing.T) {
+	f := func(x float64) float64 { return math.Exp(-x * x) }
+	exact := 0.7468241328124270 // ∫₀¹ e^(−x²) dx
+	e1err := func(n int) float64 {
+		got, err := Integrate(f, 0, 1, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(got - exact)
+	}
+	coarse, fine := e1err(8), e1err(16)
+	if fine > coarse/8 { // allow slack below the theoretical 16
+		t.Errorf("Simpson not converging at expected rate: err(8)=%v err(16)=%v", coarse, fine)
+	}
+}
+
+func TestMaximizeGolden(t *testing.T) {
+	tests := []struct {
+		name  string
+		f     func(float64) float64
+		a, b  float64
+		wantX float64
+		wantF float64
+	}{
+		{"parabola", func(x float64) float64 { return -(x - 0.3) * (x - 0.3) }, 0, 1, 0.3, 0},
+		{"sin", math.Sin, 0, math.Pi, math.Pi / 2, 1},
+		{"edge max", func(x float64) float64 { return x }, 0, 2, 2, 2},
+		{"p(1-p)-like", func(p float64) float64 { return p * math.Exp(-10*p) }, 0, 1, 0.1, 0.1 * math.Exp(-1)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			x, fx, err := MaximizeGolden(tt.f, tt.a, tt.b, 1e-10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(x, tt.wantX, 1e-6) {
+				t.Errorf("argmax = %v, want %v", x, tt.wantX)
+			}
+			if !almostEqual(fx, tt.wantF, 1e-6) {
+				t.Errorf("max = %v, want %v", fx, tt.wantF)
+			}
+		})
+	}
+}
+
+func TestMaximizeGrid(t *testing.T) {
+	f := func(x float64) float64 { return -(x - 0.52) * (x - 0.52) }
+	x, _, err := MaximizeGrid(f, 0, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x, 0.52, 0.011) {
+		t.Errorf("grid argmax = %v, want ≈ 0.52", x)
+	}
+}
+
+func TestMaximizeHybrid(t *testing.T) {
+	// A unimodal function with a sharp peak that a coarse grid alone would
+	// place imprecisely.
+	f := func(x float64) float64 { return math.Exp(-1000 * (x - 0.123) * (x - 0.123)) }
+	x, fx, err := MaximizeHybrid(f, 0, 1, 50, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x, 0.123, 1e-6) {
+		t.Errorf("hybrid argmax = %v, want 0.123", x)
+	}
+	if !almostEqual(fx, 1, 1e-6) {
+		t.Errorf("hybrid max = %v, want 1", fx)
+	}
+}
+
+func TestMaximizeBadInterval(t *testing.T) {
+	if _, _, err := MaximizeGolden(math.Sin, 1, 0, 1e-9); err == nil {
+		t.Error("MaximizeGolden: want error for inverted interval")
+	}
+	if _, _, err := MaximizeGrid(math.Sin, 1, 1, 5); err == nil {
+		t.Error("MaximizeGrid: want error for empty interval")
+	}
+	if _, _, err := MaximizeHybrid(math.Sin, 5, 2, 10, 1e-9); err == nil {
+		t.Error("MaximizeHybrid: want error for inverted interval")
+	}
+}
+
+// TestMaximizeAgainstGridProperty: golden-section on random unimodal
+// quadratics must agree with a fine grid scan.
+func TestMaximizeAgainstGridProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		c := rng.Float64()
+		f := func(x float64) float64 { return -(x - c) * (x - c) }
+		xg, _, err := MaximizeGolden(f, 0, 1, 1e-10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(xg, c, 1e-6) {
+			t.Fatalf("golden argmax %v, want %v", xg, c)
+		}
+	}
+}
+
+func TestTruncGeomMean(t *testing.T) {
+	tests := []struct {
+		name   string
+		p      float64
+		t1, t2 int
+		want   float64
+	}{
+		{"degenerate support", 0.5, 7, 7, 7},
+		{"inverted support", 0.5, 9, 3, 9},
+		{"p zero all mass at t1", 0, 3, 10, 3},
+		{"p one uniform", 1, 0, 10, 5},
+		{"two-point p=0.5", 0.5, 0, 1, 1.0 / 3}, // weights 1, 0.5 → (0+0.5)/1.5
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := TruncGeomMean(tt.p, tt.t1, tt.t2); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("TruncGeomMean(%v, %v, %v) = %v, want %v", tt.p, tt.t1, tt.t2, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestTruncGeomMeanBounds: for any p in (0,1) the mean lies in [t1, t2] and
+// increases with p (heavier tail → longer failures).
+func TestTruncGeomMeanBounds(t *testing.T) {
+	f := func(pRaw float64, span uint8) bool {
+		p := math.Mod(math.Abs(pRaw), 1)
+		if math.IsNaN(p) {
+			return true
+		}
+		t1 := 6
+		t2 := t1 + int(span%100) + 1
+		m := TruncGeomMean(p, t1, t2)
+		return m >= float64(t1) && m <= float64(t2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+	prev := TruncGeomMean(0.001, 6, 115)
+	for _, p := range []float64{0.05, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+		cur := TruncGeomMean(p, 6, 115)
+		if cur < prev {
+			t.Fatalf("TruncGeomMean not increasing in p at p=%v", p)
+		}
+		prev = cur
+	}
+}
+
+// TestTruncGeomMeanMatchesSampling cross-checks the closed form against a
+// direct sample mean of the truncated distribution.
+func TestTruncGeomMeanMatchesSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	p, t1, t2 := 0.3, 6, 20
+	// Sample by inverse transform over the finite support.
+	weights := make([]float64, t2-t1+1)
+	total := 0.0
+	for i := range weights {
+		weights[i] = math.Pow(p, float64(i))
+		total += weights[i]
+	}
+	const n = 500000
+	var sum float64
+	for i := 0; i < n; i++ {
+		u := rng.Float64() * total
+		acc := 0.0
+		for j, w := range weights {
+			acc += w
+			if u <= acc {
+				sum += float64(t1 + j)
+				break
+			}
+		}
+	}
+	got := sum / n
+	want := TruncGeomMean(p, t1, t2)
+	if !almostEqual(got, want, 0.01) {
+		t.Errorf("sample mean %v, closed form %v", got, want)
+	}
+}
+
+func TestKahanSum(t *testing.T) {
+	var k KahanSum
+	if k.Value() != 0 {
+		t.Errorf("zero value sum = %v, want 0", k.Value())
+	}
+	// Classic catastrophic cancellation case: 1 + tiny*many.
+	k.Add(1)
+	const tiny = 1e-16
+	for i := 0; i < 100000; i++ {
+		k.Add(tiny)
+	}
+	want := 1 + 100000*tiny
+	if !almostEqual(k.Value(), want, 1e-18) {
+		t.Errorf("Kahan sum = %.20f, want %.20f", k.Value(), want)
+	}
+	// Naive summation provably loses these increments entirely.
+	naive := 1.0
+	for i := 0; i < 100000; i++ {
+		naive += tiny
+	}
+	if naive != 1.0 {
+		t.Skip("platform sums tiny increments natively; compensation comparison moot")
+	}
+}
+
+func TestKahanSumMixedSigns(t *testing.T) {
+	var k KahanSum
+	vals := []float64{1e10, 1, -1e10, 1}
+	for _, v := range vals {
+		k.Add(v)
+	}
+	if !almostEqual(k.Value(), 2, 1e-9) {
+		t.Errorf("mixed-sign Kahan sum = %v, want 2", k.Value())
+	}
+}

@@ -1,0 +1,479 @@
+// Package phy models the physical layer of a single-channel ad hoc
+// network with directional transmit antennas and omni-directional
+// reception, following the assumptions of the paper (Section 2):
+//
+//   - equal transmit range R for omni and directional transmissions
+//     (equal gain via power control);
+//   - complete attenuation outside the transmit beam: a node hears a
+//     frame only if it is within range AND inside the sender's beam;
+//   - omni-directional reception: any two time-overlapping signals heard
+//     by a node corrupt each other (no capture, unless the capture
+//     ablation is enabled);
+//   - half-duplex radios that are deaf while transmitting;
+//   - fixed propagation delay between all pairs in range.
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/geom"
+)
+
+// NodeID identifies a radio in the network. IDs are dense and start at 0.
+type NodeID int
+
+// Broadcast is the destination for frames addressed to every neighbor.
+const Broadcast NodeID = -1
+
+// FrameType enumerates the MAC frame types carried by the channel.
+type FrameType int
+
+// Frame types used by the 802.11-style MAC and the neighbor protocol.
+const (
+	RTS FrameType = iota + 1
+	CTS
+	Data
+	ACK
+	Hello
+)
+
+var frameTypeNames = map[FrameType]string{
+	RTS:   "RTS",
+	CTS:   "CTS",
+	Data:  "DATA",
+	ACK:   "ACK",
+	Hello: "HELLO",
+}
+
+// String returns the conventional frame-type name.
+func (ft FrameType) String() string {
+	if n, ok := frameTypeNames[ft]; ok {
+		return n
+	}
+	return fmt.Sprintf("FrameType(%d)", int(ft))
+}
+
+// Frame is a MAC frame in flight. Bytes is the on-air size used to compute
+// airtime; NAV is the duration-field value receivers use for virtual
+// carrier sensing.
+type Frame struct {
+	Type  FrameType
+	Src   NodeID
+	Dst   NodeID
+	Bytes int
+	NAV   des.Time
+	Seq   int64
+	// Payload carries protocol data that a real frame would serialize
+	// (e.g. the sender position in a HELLO beacon). It does not affect
+	// airtime; Bytes does.
+	Payload any
+}
+
+// Mode describes the antenna configuration of one transmission. The zero
+// value is an omni-directional transmission.
+type Mode struct {
+	Directional bool
+	Bearing     float64 // radians, toward the intended receiver
+	Beamwidth   float64 // radians, total width of the cone
+}
+
+// Omni is the omni-directional transmission mode.
+var Omni = Mode{}
+
+// Directed returns a directional mode aimed at bearing with the given
+// beamwidth.
+func Directed(bearing, beamwidth float64) Mode {
+	return Mode{Directional: true, Bearing: bearing, Beamwidth: beamwidth}
+}
+
+// Covers reports whether a transmission in this mode reaches direction dir.
+func (m Mode) Covers(dir float64) bool {
+	if !m.Directional {
+		return true
+	}
+	return geom.WithinBeam(m.Bearing, m.Beamwidth, dir)
+}
+
+// Params configures the channel. DefaultParams matches Table 1 of the
+// paper (DSSS at 2 Mb/s).
+type Params struct {
+	// BitRate is the raw channel rate in bits per second.
+	BitRate int64
+	// SyncTime is the PLCP preamble+header time prepended to every frame.
+	SyncTime des.Time
+	// PropDelay is the fixed propagation delay between any pair in range.
+	PropDelay des.Time
+	// Range is the transmission/reception radius R (same length unit as
+	// node positions).
+	Range float64
+	// Capture, when true, enables the ablation receiver: an already
+	// locked-on signal survives later-starting overlaps (the newcomer is
+	// lost instead of both). The paper's model uses Capture=false.
+	Capture bool
+	// SINRThreshold, when positive, replaces the overlap-collision
+	// receiver with a physical signal-to-interference-plus-noise model:
+	// received power is TxGain/d^PathLoss (transmit power 1, directional
+	// gain 2π/θ by energy conservation — the paper's footnote 2), and a
+	// frame decodes only while its power stays at least SINRThreshold
+	// times the sum of NoiseFloor and all other heard signal powers.
+	// Strong frames therefore capture over weak interferers, and narrow
+	// beams buy SNR headroom against the noise floor.
+	SINRThreshold float64
+	// PathLoss is the path-loss exponent α (used when SINRThreshold > 0;
+	// typical values 2–4).
+	PathLoss float64
+	// NoiseFloor is the constant noise power (same units as the unit
+	// transmit power; used when SINRThreshold > 0).
+	NoiseFloor float64
+	// NAVOracle, when true, delivers frame headers (as NAV hints, not
+	// energy) to every in-range radio even outside the transmit beam.
+	// This ablation separates "directional schemes win by reduced waiting"
+	// from "directional schemes win by spatial reuse": with the oracle,
+	// out-of-beam neighbors defer exactly as they would under
+	// omni-directional transmissions, but the interference footprint
+	// stays directional.
+	NAVOracle bool
+}
+
+// DefaultParams returns the paper's Table 1 channel configuration with a
+// transmission range of 1.0 distance unit.
+func DefaultParams() Params {
+	return Params{
+		BitRate:   2_000_000,
+		SyncTime:  192 * des.Microsecond,
+		PropDelay: 1 * des.Microsecond,
+		Range:     1.0,
+	}
+}
+
+// Validate checks the parameter ranges.
+func (p Params) Validate() error {
+	if p.BitRate <= 0 {
+		return fmt.Errorf("phy: bit rate must be positive, got %d", p.BitRate)
+	}
+	if p.SyncTime < 0 || p.PropDelay < 0 {
+		return fmt.Errorf("phy: sync time and propagation delay must be non-negative")
+	}
+	if p.Range <= 0 {
+		return fmt.Errorf("phy: range must be positive, got %v", p.Range)
+	}
+	if p.SINRThreshold > 0 {
+		if p.PathLoss < 1 {
+			return fmt.Errorf("phy: SINR mode needs a path-loss exponent >= 1, got %v", p.PathLoss)
+		}
+		if p.NoiseFloor < 0 {
+			return fmt.Errorf("phy: noise floor must be non-negative, got %v", p.NoiseFloor)
+		}
+	}
+	return nil
+}
+
+// sinr reports whether the physical SINR receiver model is enabled.
+func (p Params) sinr() bool { return p.SINRThreshold > 0 }
+
+// Gain returns the transmit antenna gain of mode m under the SINR model:
+// 1 for omni, 2π/θ for a cone of width θ (energy conservation).
+func (m Mode) Gain() float64 {
+	if !m.Directional || m.Beamwidth <= 0 || m.Beamwidth >= 2*math.Pi {
+		return 1
+	}
+	return 2 * math.Pi / m.Beamwidth
+}
+
+// Airtime returns the on-air duration of a frame of the given byte size:
+// sync preamble plus serialization at the channel bit rate.
+func (p Params) Airtime(bytes int) des.Time {
+	bits := int64(bytes) * 8
+	return p.SyncTime + des.Time(bits*int64(des.Second)/p.BitRate)
+}
+
+// Handler receives PHY indications. All callbacks run on the scheduler
+// goroutine. Carrier callbacks are edge-triggered for a non-transmitting
+// radio; after a transmission ends the MAC should re-query CarrierBusy
+// because transitions during its own transmission are not delivered.
+type Handler interface {
+	// OnCarrierBusy fires when heard energy appears at an idle radio.
+	OnCarrierBusy()
+	// OnCarrierIdle fires when the last heard signal ends and the radio is
+	// not transmitting.
+	OnCarrierIdle()
+	// OnFrame delivers a successfully decoded frame (regardless of
+	// addressing; filtering is the MAC's job).
+	OnFrame(f Frame)
+	// OnFrameError fires when garbled energy ends (collision damage);
+	// 802.11 uses this for EIFS.
+	OnFrameError()
+	// OnTxDone fires when this radio's own transmission leaves the air.
+	OnTxDone()
+}
+
+// NAVHinter is an optional Handler extension. When the channel runs with
+// Params.NAVOracle, radios that are in range of a directional
+// transmission but outside its beam receive the frame header through
+// OnNAVHint at the time the frame ends, without any energy having been
+// sensed.
+type NAVHinter interface {
+	OnNAVHint(f Frame)
+}
+
+// signal is one transmission as perceived by one receiver.
+type signal struct {
+	frame     Frame
+	power     float64 // received power under the SINR model
+	corrupted bool
+	missed    bool // receiver was deaf (transmitting) during part of it
+}
+
+// Radio is one node's half-duplex transceiver attached to a Channel.
+type Radio struct {
+	id      NodeID
+	pos     geom.Point
+	ch      *Channel
+	handler Handler
+
+	transmitting bool
+	active       []*signal // signals currently on the air at this radio
+}
+
+// ID returns the radio's node ID.
+func (r *Radio) ID() NodeID { return r.id }
+
+// ChannelParams returns the configuration of the channel this radio is
+// attached to.
+func (r *Radio) ChannelParams() Params { return r.ch.params }
+
+// Pos returns the radio's current position.
+func (r *Radio) Pos() geom.Point { return r.pos }
+
+// SetPos moves the radio (mobility support). Propagation decisions use
+// positions as of each transmission's start; a frame already in flight is
+// unaffected by later movement (quasi-static per frame).
+func (r *Radio) SetPos(p geom.Point) { r.pos = p }
+
+// Transmitting reports whether the radio is currently transmitting.
+func (r *Radio) Transmitting() bool { return r.transmitting }
+
+// CarrierBusy reports whether any signal energy is currently arriving.
+// The value is only physically meaningful when the radio is not
+// transmitting (a transmitting radio cannot sense the channel).
+func (r *Radio) CarrierBusy() bool { return len(r.active) > 0 }
+
+// ErrTxBusy is returned when Transmit is called on a radio that is
+// already transmitting.
+var ErrTxBusy = fmt.Errorf("phy: radio already transmitting")
+
+// Transmit puts frame f on the air with antenna mode m and returns the
+// frame's airtime. OnTxDone fires on the handler when the transmission
+// ends. Reception at each in-range, in-beam radio starts after the
+// propagation delay.
+func (r *Radio) Transmit(f Frame, m Mode) (des.Time, error) {
+	if r.transmitting {
+		return 0, ErrTxBusy
+	}
+	r.transmitting = true
+	// Our own transmission stomps anything we were receiving.
+	for _, sig := range r.active {
+		sig.missed = true
+	}
+	airtime := r.ch.params.Airtime(f.Bytes)
+	r.ch.txTime[f.Type] += airtime
+	r.ch.txCount[f.Type]++
+	r.ch.propagate(r, f, m, airtime)
+	r.ch.sched.Schedule(airtime, func() {
+		r.transmitting = false
+		r.handler.OnTxDone()
+	})
+	return airtime, nil
+}
+
+// signalStart registers an arriving signal at this radio.
+func (r *Radio) signalStart(sig *signal) {
+	if r.transmitting {
+		sig.missed = true
+	}
+	switch {
+	case r.ch.params.sinr():
+		r.sinrArrival(sig)
+	case len(r.active) > 0:
+		// Overlap. Without capture, everyone is damaged; with capture the
+		// established signal survives and only the newcomer is lost.
+		sig.corrupted = true
+		if !r.ch.params.Capture {
+			for _, other := range r.active {
+				other.corrupted = true
+			}
+		}
+	}
+	r.active = append(r.active, sig)
+	if len(r.active) == 1 && !r.transmitting {
+		r.handler.OnCarrierBusy()
+	}
+}
+
+// sinrArrival applies the physical receiver model when sig starts: every
+// signal whose power no longer clears the threshold against noise plus
+// all other heard power is (irreversibly) damaged. Power levels are
+// constant per signal, so checking at each arrival covers all overlap
+// intervals.
+func (r *Radio) sinrArrival(sig *signal) {
+	p := r.ch.params
+	total := p.NoiseFloor + sig.power
+	for _, other := range r.active {
+		total += other.power
+	}
+	if interference := total - sig.power; sig.power < p.SINRThreshold*interference {
+		sig.corrupted = true
+	}
+	for _, other := range r.active {
+		if interference := total - other.power; other.power < p.SINRThreshold*interference {
+			other.corrupted = true
+		}
+	}
+}
+
+// signalEnd completes an arriving signal: deliver, report error, or drop.
+func (r *Radio) signalEnd(sig *signal) {
+	for i, s := range r.active {
+		if s == sig {
+			r.active = append(r.active[:i], r.active[i+1:]...)
+			break
+		}
+	}
+	// A signal ending while we transmit was missed in its entirety or tail.
+	if r.transmitting {
+		sig.missed = true
+	}
+	switch {
+	case sig.missed:
+		// The radio never perceived this signal; nothing to report.
+	case sig.corrupted:
+		r.handler.OnFrameError()
+	default:
+		r.handler.OnFrame(sig.frame)
+	}
+	if len(r.active) == 0 && !r.transmitting {
+		r.handler.OnCarrierIdle()
+	}
+}
+
+// Channel connects radios on a shared single-frequency medium.
+type Channel struct {
+	sched  *des.Scheduler
+	params Params
+	radios []*Radio
+
+	txTime  map[FrameType]des.Time
+	txCount map[FrameType]int64
+}
+
+// NewChannel creates a channel driven by the given scheduler.
+func NewChannel(sched *des.Scheduler, params Params) (*Channel, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Channel{
+		sched:   sched,
+		params:  params,
+		txTime:  make(map[FrameType]des.Time),
+		txCount: make(map[FrameType]int64),
+	}, nil
+}
+
+// Params returns the channel configuration.
+func (c *Channel) Params() Params { return c.params }
+
+// AddRadio attaches a new radio at pos. IDs are assigned densely in
+// attachment order. The handler must be non-nil before the first event
+// fires; it may be set later via SetHandler to break construction cycles.
+func (c *Channel) AddRadio(pos geom.Point, handler Handler) *Radio {
+	r := &Radio{id: NodeID(len(c.radios)), pos: pos, ch: c, handler: handler}
+	c.radios = append(c.radios, r)
+	return r
+}
+
+// SetHandler installs the MAC handler for a radio.
+func (r *Radio) SetHandler(h Handler) { r.handler = h }
+
+// Radio returns the radio with the given ID, or nil.
+func (c *Channel) Radio(id NodeID) *Radio {
+	if id < 0 || int(id) >= len(c.radios) {
+		return nil
+	}
+	return c.radios[id]
+}
+
+// NumRadios returns the number of attached radios.
+func (c *Channel) NumRadios() int { return len(c.radios) }
+
+// TxAirtime returns the cumulative on-air time of all transmissions of
+// the given frame type across the whole network. Because transmissions
+// overlap in space, the sum over types can exceed elapsed time — the
+// ratio Σ TxAirtime / elapsed is the network's spatial-reuse factor.
+func (c *Channel) TxAirtime(ft FrameType) des.Time { return c.txTime[ft] }
+
+// TxCount returns how many frames of the given type went on the air.
+func (c *Channel) TxCount(ft FrameType) int64 { return c.txCount[ft] }
+
+// TotalTxAirtime sums TxAirtime over every frame type.
+func (c *Channel) TotalTxAirtime() des.Time {
+	var total des.Time
+	for _, t := range c.txTime {
+		total += t
+	}
+	return total
+}
+
+// Neighbors returns the IDs of all radios within range of id, in ID order.
+func (c *Channel) Neighbors(id NodeID) []NodeID {
+	self := c.Radio(id)
+	if self == nil {
+		return nil
+	}
+	r2 := c.params.Range * c.params.Range
+	var out []NodeID
+	for _, o := range c.radios {
+		if o.id != id && o.pos.Dist2(self.pos) <= r2 {
+			out = append(out, o.id)
+		}
+	}
+	return out
+}
+
+// propagate schedules signal start/end at every radio that hears the
+// transmission: in range, inside the beam, and not the sender itself.
+func (c *Channel) propagate(src *Radio, f Frame, m Mode, airtime des.Time) {
+	r2 := c.params.Range * c.params.Range
+	for _, dst := range c.radios {
+		if dst.id == src.id {
+			continue
+		}
+		if dst.pos.Dist2(src.pos) > r2 {
+			continue
+		}
+		power := 0.0
+		if c.params.sinr() {
+			d := src.pos.Dist(dst.pos)
+			if d < 1e-6 {
+				d = 1e-6
+			}
+			power = m.Gain() / math.Pow(d, c.params.PathLoss)
+		}
+		if !m.Covers(src.pos.Bearing(dst.pos)) {
+			if c.params.NAVOracle {
+				dst := dst
+				c.sched.Schedule(c.params.PropDelay+airtime, func() {
+					if h, ok := dst.handler.(NAVHinter); ok {
+						h.OnNAVHint(f)
+					}
+				})
+			}
+			continue
+		}
+		sig := &signal{frame: f, power: power}
+		dst := dst
+		c.sched.Schedule(c.params.PropDelay, func() { dst.signalStart(sig) })
+		c.sched.Schedule(c.params.PropDelay+airtime, func() { dst.signalEnd(sig) })
+	}
+}

@@ -1,0 +1,209 @@
+// Package plot renders simple, dependency-free SVG figures: line charts
+// with optional error bars (for the paper's Fig. 5/6/7 reproductions) and
+// topology scatter plots (for the concentric-ring placements).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// palette is a color-blind-safe categorical palette.
+var palette = []string{"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377"}
+
+// Series is one named line on a chart. YLow/YHigh, when non-nil, draw a
+// vertical error bar per point (the paper's min–max range whiskers).
+type Series struct {
+	Name  string
+	X     []float64
+	Y     []float64
+	YLow  []float64
+	YHigh []float64
+}
+
+// Chart is a line chart specification.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height default to 720×480 when zero.
+	Width, Height int
+}
+
+// viewport geometry.
+const (
+	marginLeft   = 70.0
+	marginRight  = 20.0
+	marginTop    = 40.0
+	marginBottom = 55.0
+)
+
+// SVG renders the chart.
+func (c *Chart) SVG(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart has no series")
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 480
+	}
+	// Data bounds across all series (including error bars).
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x but %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		if s.YLow != nil && (len(s.YLow) != len(s.X) || len(s.YHigh) != len(s.X)) {
+			return fmt.Errorf("plot: series %q error bars mismatch", s.Name)
+		}
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+			if s.YLow != nil {
+				ymin = math.Min(ymin, s.YLow[i])
+				ymax = math.Max(ymax, s.YHigh[i])
+			}
+		}
+	}
+	if !(xmax > math.Inf(-1)) || !(ymax > math.Inf(-1)) {
+		return fmt.Errorf("plot: chart has no data points")
+	}
+	// Always show y = 0 for magnitude-like quantities.
+	if ymin > 0 {
+		ymin = 0
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	plotW := float64(width) - marginLeft - marginRight
+	plotH := float64(height) - marginTop - marginBottom
+	xpos := func(x float64) float64 { return marginLeft + (x-xmin)/(xmax-xmin)*plotW }
+	ypos := func(y float64) float64 { return marginTop + plotH - (y-ymin)/(ymax-ymin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+		marginLeft, marginTop-18, escape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+
+	// Ticks and grid.
+	for _, tx := range Ticks(xmin, xmax, 8) {
+		px := xpos(tx)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/>`+"\n",
+			px, marginTop, px, marginTop+plotH)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			px, marginTop+plotH+16, formatTick(tx))
+	}
+	for _, ty := range Ticks(ymin, ymax, 6) {
+		py := ypos(ty)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/>`+"\n",
+			marginLeft, py, marginLeft+plotW, py)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, py+4, formatTick(ty))
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, float64(height)-12, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, escape(c.YLabel))
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.2f,%.2f", xpos(s.X[i]), ypos(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="3" fill="%s"/>`+"\n",
+				xpos(s.X[i]), ypos(s.Y[i]), color)
+			if s.YLow != nil {
+				// Offset error bars slightly per series so they stay legible
+				// when schemes share x positions (as in the paper's figures).
+				off := float64(si-1) * 4
+				px := xpos(s.X[i]) + off
+				fmt.Fprintf(&b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="1"/>`+"\n",
+					px, ypos(s.YLow[i]), px, ypos(s.YHigh[i]), color)
+				for _, capY := range []float64{s.YLow[i], s.YHigh[i]} {
+					fmt.Fprintf(&b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="1"/>`+"\n",
+						px-3, ypos(capY), px+3, ypos(capY), color)
+				}
+			}
+		}
+		// Legend entry.
+		ly := marginTop + 8 + float64(si)*18
+		lx := marginLeft + plotW - 150
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly, lx+24, ly, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			lx+30, ly+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Ticks returns up to n+1 round tick positions covering [min, max] using
+// a 1-2-5 ladder.
+func Ticks(min, max float64, n int) []float64 {
+	if n < 1 {
+		n = 1
+	}
+	span := max - min
+	if span <= 0 {
+		return []float64{min}
+	}
+	raw := span / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag <= 1:
+		step = mag
+	case raw/mag <= 2:
+		step = 2 * mag
+	case raw/mag <= 5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var out []float64
+	for t := math.Ceil(min/step) * step; t <= max+step/1e6; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+// formatTick renders a tick value compactly.
+func formatTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// escape makes a string safe for SVG text content.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,151 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func validSVG(t *testing.T, s string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(s))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+}
+
+func TestChartSVG(t *testing.T) {
+	c := Chart{
+		Title:  "Fig. 5 <test> & demo",
+		XLabel: "beamwidth (deg)",
+		YLabel: "throughput",
+		Series: []Series{
+			{Name: "ORTS-OCTS", X: []float64{15, 90, 180}, Y: []float64{0.32, 0.32, 0.32}},
+			{Name: "DRTS-DCTS", X: []float64{15, 90, 180}, Y: []float64{0.49, 0.23, 0.15}},
+		},
+	}
+	var sb strings.Builder
+	if err := c.SVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	validSVG(t, out)
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+	for _, want := range []string{"ORTS-OCTS", "DRTS-DCTS", "beamwidth (deg)", "&lt;test&gt; &amp;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestChartSVGErrorBars(t *testing.T) {
+	c := Chart{
+		Series: []Series{{
+			Name: "s",
+			X:    []float64{1, 2},
+			Y:    []float64{5, 6},
+			YLow: []float64{4, 5}, YHigh: []float64{6, 7},
+		}},
+	}
+	var sb strings.Builder
+	if err := c.SVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	validSVG(t, sb.String())
+	// 2 points × (1 bar + 2 caps) = 6 extra lines beyond axes/grid/legend.
+	if got := strings.Count(sb.String(), "<line"); got < 8 {
+		t.Errorf("error-bar chart has too few line elements: %d", got)
+	}
+}
+
+func TestChartSVGValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := (&Chart{}).SVG(&sb); err == nil {
+		t.Error("empty chart should fail")
+	}
+	bad := Chart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := bad.SVG(&sb); err == nil {
+		t.Error("mismatched series should fail")
+	}
+	barsBad := Chart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{1}, YLow: []float64{}, YHigh: []float64{}}}}
+	if err := barsBad.SVG(&sb); err == nil {
+		t.Error("mismatched error bars should fail")
+	}
+	empty := Chart{Series: []Series{{Name: "x"}}}
+	if err := empty.SVG(&sb); err == nil {
+		t.Error("series without points should fail")
+	}
+}
+
+func TestChartSVGDegenerateRanges(t *testing.T) {
+	// Single point: both ranges degenerate; must still render.
+	c := Chart{Series: []Series{{Name: "pt", X: []float64{3}, Y: []float64{7}}}}
+	var sb strings.Builder
+	if err := c.SVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	validSVG(t, sb.String())
+}
+
+func TestTicks(t *testing.T) {
+	ticks := Ticks(0, 100, 5)
+	if len(ticks) < 3 {
+		t.Fatalf("too few ticks: %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	if ticks[0] < 0 || ticks[len(ticks)-1] > 100+1e-9 {
+		t.Errorf("ticks out of range: %v", ticks)
+	}
+	// The 1-2-5 ladder yields a round step.
+	step := ticks[1] - ticks[0]
+	mant := step / math.Pow(10, math.Floor(math.Log10(step)))
+	if !(almost(mant, 1) || almost(mant, 2) || almost(mant, 5)) {
+		t.Errorf("tick step %v not on the 1-2-5 ladder", step)
+	}
+	if got := Ticks(5, 5, 4); len(got) != 1 || got[0] != 5 {
+		t.Errorf("degenerate range ticks = %v", got)
+	}
+	if got := Ticks(0, 1, 0); len(got) == 0 {
+		t.Errorf("n=0 should clamp, got %v", got)
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestTopologySVG(t *testing.T) {
+	topo, err := topology.Generate(rand.New(rand.NewSource(2)), topology.DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := TopologySVG(&sb, topo); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	validSVG(t, out)
+	if got := strings.Count(out, "<circle"); got < 27+3 {
+		t.Errorf("circles = %d, want >= nodes + rings", got)
+	}
+	if !strings.Contains(out, "N=3, 27 nodes, 3 rings") {
+		t.Error("caption missing")
+	}
+	if err := TopologySVG(&sb, nil); err == nil {
+		t.Error("nil topology should fail")
+	}
+}

@@ -1,0 +1,62 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// TopologySVG renders a concentric-ring topology: ring boundaries, nodes
+// colored by ring (inner nodes emphasized), and light links between
+// neighbors.
+func TopologySVG(w io.Writer, topo *topology.Topology) error {
+	if topo == nil || len(topo.Positions) == 0 {
+		return fmt.Errorf("plot: empty topology")
+	}
+	const size = 640.0
+	bound := float64(topo.Rings) * topo.Radius
+	scale := (size/2 - 20) / bound
+	px := func(x float64) float64 { return size/2 + x*scale }
+	py := func(y float64) float64 { return size/2 - y*scale }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		size, size, size, size)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	// Ring boundaries.
+	for ring := 1; ring <= topo.Rings; ring++ {
+		fmt.Fprintf(&b, `<circle cx="%g" cy="%g" r="%.1f" fill="none" stroke="#cccccc" stroke-dasharray="4 4"/>`+"\n",
+			size/2, size/2, float64(ring)*topo.Radius*scale)
+	}
+
+	// Links between neighbors (drawn first, under the nodes).
+	for i := range topo.Positions {
+		for _, j := range topo.Neighbors(i) {
+			if j < i {
+				continue // each edge once
+			}
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#e8e8e8"/>`+"\n",
+				px(topo.Positions[i].X), py(topo.Positions[i].Y),
+				px(topo.Positions[j].X), py(topo.Positions[j].Y))
+		}
+	}
+
+	// Nodes.
+	for i, pos := range topo.Positions {
+		color := palette[topo.RingOf(i)%len(palette)]
+		r := 4.0
+		if i < topo.InnerCount() {
+			r = 6.0 // measured nodes stand out
+		}
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%g" fill="%s" stroke="black" stroke-width="0.5"/>`+"\n",
+			px(pos.X), py(pos.Y), r, color)
+	}
+	fmt.Fprintf(&b, `<text x="12" y="22" font-family="sans-serif" font-size="13">N=%d, %d nodes, %d rings (inner/measured nodes enlarged)</text>`+"\n",
+		topo.N, len(topo.Positions), topo.Rings)
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
