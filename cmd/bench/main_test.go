@@ -1,0 +1,68 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: SomeCPU @ 2.00GHz
+BenchmarkScheduler-8   	12345678	        98.7 ns/op	      16 B/op	       1 allocs/op
+BenchmarkChannelBroadcast-8 	   50000	     25000 ns/op	    4096 B/op	      66 allocs/op
+BenchmarkFig6/ORTS-OCTS-8 	       6	 170000000 ns/op	        85.3 Kbps/node	 1200000 B/op	   14000 allocs/op
+PASS
+ok  	repro	12.345s
+`
+	results, err := ParseBenchOutput(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	sched := results[0]
+	if sched.Name != "BenchmarkScheduler-8" || sched.Iterations != 12345678 {
+		t.Errorf("scheduler line parsed as %+v", sched)
+	}
+	if sched.NsPerOp != 98.7 || sched.BytesPerOp != 16 || sched.AllocsPerOp != 1 {
+		t.Errorf("scheduler metrics: %+v", sched)
+	}
+	fig6 := results[2]
+	if fig6.Extra["Kbps/node"] != 85.3 {
+		t.Errorf("custom metric lost: %+v", fig6)
+	}
+	if fig6.AllocsPerOp != 14000 {
+		t.Errorf("allocs after custom metric: %+v", fig6)
+	}
+}
+
+func TestParseBenchOutputSkipsNoise(t *testing.T) {
+	results, err := ParseBenchOutput("BenchmarkBroken happened\nnothing here\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Errorf("parsed %d results from noise, want 0", len(results))
+	}
+}
+
+func TestParseBenchOutputMissingBenchmem(t *testing.T) {
+	results, err := ParseBenchOutput("BenchmarkX-4 \t 100 \t 5.0 ns/op\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("parsed %d results, want 1", len(results))
+	}
+	if r := results[0]; r.NsPerOp != 5.0 || r.BytesPerOp != -1 || r.AllocsPerOp != -1 {
+		t.Errorf("metrics without -benchmem: %+v", r)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-count", "x"}, nil); err == nil {
+		t.Error("bad -count should fail")
+	}
+}

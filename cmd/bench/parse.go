@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseBenchOutput extracts benchmark result lines from `go test -bench`
+// output. A result line looks like
+//
+//	BenchmarkScheduler-8   12345678   98.7 ns/op   16 B/op   1 allocs/op
+//
+// optionally with custom b.ReportMetric columns mixed in (value then
+// unit). Non-benchmark lines (ok/PASS/pkg headers) are skipped.
+func ParseBenchOutput(out string) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmark..." in a log message
+		}
+		r := Result{Name: fields[0], Iterations: iters, NsPerOp: -1, BytesPerOp: -1, AllocsPerOp: -1}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value in %q: %w", line, err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = val
+			case "B/op":
+				r.BytesPerOp = val
+			case "allocs/op":
+				r.AllocsPerOp = val
+			default:
+				if r.Extra == nil {
+					r.Extra = make(map[string]float64)
+				}
+				r.Extra[unit] = val
+			}
+		}
+		results = append(results, r)
+	}
+	return results, sc.Err()
+}

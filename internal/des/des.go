@@ -1,13 +1,22 @@
 // Package des is a deterministic discrete-event simulation kernel: a
-// monotonic virtual clock, a binary-heap event queue with stable FIFO
-// ordering among simultaneous events, cancellable timers, and a seeded
-// random stream. It is single-threaded by design — protocol models run as
-// callbacks on the scheduler goroutine, which makes runs exactly
+// monotonic virtual clock, a typed binary-heap event queue with stable
+// FIFO ordering among simultaneous events, cancellable timers, and a
+// seeded random stream. It is single-threaded by design — protocol models
+// run as callbacks on the scheduler goroutine, which makes runs exactly
 // reproducible for a given seed.
+//
+// The event queue is built for the MAC workload: millions of schedules
+// per simulated second, most of them canceled before they fire. Timers
+// are recycled through a free list, the heap stores typed pointers (no
+// interface boxing), and cancellation removes the entry immediately via
+// its heap index — so steady-state scheduling performs no allocation and
+// canceled events leave no garbage behind. Timer handles are small
+// generation-checked values: a handle retained after its timer fired (or
+// was canceled and recycled) safely reports inactive instead of aliasing
+// a later event.
 package des
 
 import (
-	"container/heap"
 	"math/rand"
 	"time"
 )
@@ -40,32 +49,56 @@ func (t Time) String() string {
 	return time.Duration(t).String()
 }
 
-// Timer is a handle for a scheduled event. Its zero value is not useful;
-// timers are created by Scheduler.At and Scheduler.Schedule.
-type Timer struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	canceled bool
-	fired    bool
-	index    int // heap index, -1 once popped
+// Event is a scheduled action dispatched without a closure. Hot callers
+// (the PHY layer) pool Event implementations and schedule them via
+// AtEvent/ScheduleEvent, so delivering a frame to a dense neighborhood
+// allocates nothing.
+type Event interface {
+	// Fire runs the event at its due time, on the scheduler goroutine.
+	Fire()
 }
 
-// When returns the simulated time the timer is (or was) due to fire.
-func (t *Timer) When() Time {
+// timer is one pending queue entry. Entries are owned by the scheduler
+// and recycled through a free list once fired or canceled; external code
+// only ever sees them through generation-checked Timer handles.
+type timer struct {
+	at    Time
+	seq   uint64
+	fn    func() // exactly one of fn/ev is set
+	ev    Event
+	gen   uint32 // bumped on recycle; stale handles mismatch
+	index int32  // position in the heap array
+}
+
+// Timer is a cancellable handle for a scheduled event. The zero value is
+// an inert handle: not active, and cancelling it is a no-op. Handles stay
+// safe to retain indefinitely — after the event fires (or is canceled)
+// the underlying entry may be recycled for a new event, and the
+// generation check makes the old handle report inactive rather than
+// affect the newcomer.
+type Timer struct {
+	tm  *timer
+	gen uint32
+	at  Time
+}
+
+// When returns the simulated time the timer is (or was) due to fire. The
+// zero handle returns 0.
+func (t Timer) When() Time {
 	return t.at
 }
 
 // Active reports whether the timer is still pending: neither fired nor
 // canceled.
-func (t *Timer) Active() bool {
-	return t != nil && !t.canceled && !t.fired
+func (t Timer) Active() bool {
+	return t.tm != nil && t.tm.gen == t.gen
 }
 
 // Scheduler owns the virtual clock and the pending-event queue.
 type Scheduler struct {
 	now   Time
-	queue timerHeap
+	heap  []*timer
+	free  []*timer
 	seq   uint64
 	rng   *rand.Rand
 	count uint64 // events executed
@@ -91,61 +124,118 @@ func (s *Scheduler) Executed() uint64 {
 	return s.count
 }
 
-// Pending returns the number of events still queued.
+// Pending returns the number of events still queued. Canceled events are
+// removed eagerly and never count.
 func (s *Scheduler) Pending() int {
-	return s.queue.Len()
+	return len(s.heap)
+}
+
+// alloc takes a recycled timer from the free list or makes a new one.
+func (s *Scheduler) alloc() *timer {
+	if n := len(s.free); n > 0 {
+		tm := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return tm
+	}
+	return &timer{}
+}
+
+// recycle invalidates every outstanding handle to tm and returns it to
+// the free list. Callbacks are cleared so the queue never retains
+// captured state past a timer's lifetime.
+func (s *Scheduler) recycle(tm *timer) {
+	tm.gen++
+	tm.fn = nil
+	tm.ev = nil
+	tm.index = -1
+	s.free = append(s.free, tm)
+}
+
+// insert enqueues a prepared timer and returns its handle.
+func (s *Scheduler) insert(tm *timer, at Time) Timer {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	tm.at = at
+	tm.seq = s.seq
+	tm.index = int32(len(s.heap))
+	s.heap = append(s.heap, tm)
+	s.siftUp(len(s.heap) - 1)
+	return Timer{tm: tm, gen: tm.gen, at: at}
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past (t
 // before Now) clamps to Now, preserving causality. Events scheduled for
 // the same instant fire in scheduling order.
-func (s *Scheduler) At(t Time, fn func()) *Timer {
-	if t < s.now {
-		t = s.now
-	}
-	s.seq++
-	tm := &Timer{at: t, seq: s.seq, fn: fn}
-	heap.Push(&s.queue, tm)
-	return tm
+func (s *Scheduler) At(t Time, fn func()) Timer {
+	tm := s.alloc()
+	tm.fn = fn
+	return s.insert(tm, t)
 }
 
 // Schedule schedules fn to run after delay d from now. Negative delays
 // clamp to zero.
-func (s *Scheduler) Schedule(d Time, fn func()) *Timer {
+func (s *Scheduler) Schedule(d Time, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return s.At(s.now+d, fn)
 }
 
-// Cancel marks the timer as canceled so its callback will not run.
-// It reports whether the cancellation took effect (false when the timer
-// already fired or was already canceled).
-func (s *Scheduler) Cancel(t *Timer) bool {
-	if t == nil || t.canceled || t.fired {
+// AtEvent schedules ev to fire at absolute time t, with the same clamping
+// and FIFO guarantees as At. Passing a pooled pointer implementation
+// performs no allocation.
+func (s *Scheduler) AtEvent(t Time, ev Event) Timer {
+	tm := s.alloc()
+	tm.ev = ev
+	return s.insert(tm, t)
+}
+
+// ScheduleEvent schedules ev to fire after delay d from now. Negative
+// delays clamp to zero.
+func (s *Scheduler) ScheduleEvent(d Time, ev Event) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtEvent(s.now+d, ev)
+}
+
+// Cancel prevents a pending timer from firing. It reports whether the
+// cancellation took effect (false when the timer already fired, was
+// already canceled, or is the zero handle). The queue entry is unlinked
+// immediately — heavy cancellation (the MAC's normal operation) leaves no
+// garbage in the heap.
+func (s *Scheduler) Cancel(t Timer) bool {
+	tm := t.tm
+	if tm == nil || tm.gen != t.gen {
 		return false
 	}
-	t.canceled = true
-	// The entry stays in the heap and is discarded when popped; lazy
-	// deletion keeps Cancel O(1), and the MAC layer cancels constantly.
+	s.remove(int(tm.index))
+	s.recycle(tm)
 	return true
 }
 
 // Step executes the next pending event and reports whether one ran.
-// Canceled events are skipped silently.
 func (s *Scheduler) Step() bool {
-	for s.queue.Len() > 0 {
-		tm, _ := heap.Pop(&s.queue).(*Timer)
-		if tm.canceled {
-			continue
-		}
-		s.now = tm.at
-		tm.fired = true
-		s.count++
-		tm.fn()
-		return true
+	if len(s.heap) == 0 {
+		return false
 	}
-	return false
+	tm := s.popMin()
+	s.now = tm.at
+	s.count++
+	fn, ev := tm.fn, tm.ev
+	// Recycle before running: the callback observes its own handle as
+	// no longer active (it has fired), and may immediately reuse the
+	// entry for a follow-up event.
+	s.recycle(tm)
+	if fn != nil {
+		fn()
+	} else {
+		ev.Fire()
+	}
+	return true
 }
 
 // Run executes events until the clock would pass `until` or the queue
@@ -153,15 +243,7 @@ func (s *Scheduler) Step() bool {
 // scheduled exactly at `until` still run.
 func (s *Scheduler) Run(until Time) uint64 {
 	start := s.count
-	for s.queue.Len() > 0 {
-		next := s.queue[0]
-		if next.canceled {
-			heap.Pop(&s.queue)
-			continue
-		}
-		if next.at > until {
-			break
-		}
+	for len(s.heap) > 0 && s.heap[0].at <= until {
 		s.Step()
 	}
 	if s.now < until {
@@ -179,36 +261,87 @@ func (s *Scheduler) RunAll() uint64 {
 	return s.count - start
 }
 
-// timerHeap is a min-heap ordered by (time, sequence).
-type timerHeap []*Timer
+// The queue is a hand-rolled binary min-heap over (at, seq) — strict
+// arrival order with FIFO tie-breaking. container/heap would box every
+// *timer through an interface on each Push/Pop; inlining the sifts keeps
+// the hot path monomorphic and allocation-free.
 
-func (h timerHeap) Len() int { return len(h) }
-
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders the heap by due time, then scheduling order.
+func (s *Scheduler) less(a, b *timer) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h timerHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+func (s *Scheduler) siftUp(i int) {
+	h := s.heap
+	tm := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(tm, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].index = int32(i)
+		i = parent
+	}
+	h[i] = tm
+	tm.index = int32(i)
 }
 
-func (h *timerHeap) Push(x any) {
-	tm, _ := x.(*Timer)
-	tm.index = len(*h)
-	*h = append(*h, tm)
+func (s *Scheduler) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	tm := h[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if right := child + 1; right < n && s.less(h[right], h[child]) {
+			child = right
+		}
+		if !s.less(h[child], tm) {
+			break
+		}
+		h[i] = h[child]
+		h[i].index = int32(i)
+		i = child
+	}
+	h[i] = tm
+	tm.index = int32(i)
 }
 
-func (h *timerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	tm := old[n-1]
-	old[n-1] = nil
-	tm.index = -1
-	*h = old[:n-1]
+// popMin removes and returns the earliest timer.
+func (s *Scheduler) popMin() *timer {
+	h := s.heap
+	tm := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	s.heap = h[:n]
+	if n > 0 {
+		s.siftDown(0)
+	}
 	return tm
+}
+
+// remove unlinks the timer at heap position i.
+func (s *Scheduler) remove(i int) {
+	h := s.heap
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	s.heap = h[:n]
+	if i == n {
+		return
+	}
+	h[i] = last
+	last.index = int32(i)
+	// The displaced entry may belong above or below its new slot.
+	s.siftDown(i)
+	if h[i] == last {
+		s.siftUp(i)
+	}
 }

@@ -114,16 +114,134 @@ func TestCancelAfterFire(t *testing.T) {
 	}
 }
 
-func TestCancelNil(t *testing.T) {
+func TestCancelZeroHandle(t *testing.T) {
 	s := New(1)
-	if s.Cancel(nil) {
-		t.Error("Cancel(nil) should report false")
+	var tm Timer
+	if s.Cancel(tm) {
+		t.Error("Cancel of the zero handle should report false")
 	}
-	var tm *Timer
 	if tm.Active() {
-		t.Error("nil timer should not be active")
+		t.Error("zero handle should not be active")
+	}
+	if tm.When() != 0 {
+		t.Errorf("zero handle When = %v, want 0", tm.When())
 	}
 }
+
+// TestStaleHandleSafety: a handle retained past its timer's firing must
+// stay inert even after the underlying entry is recycled for a new
+// event. This is the contract that makes the timer free list safe.
+func TestStaleHandleSafety(t *testing.T) {
+	s := New(1)
+	stale := s.Schedule(1, func() {})
+	s.RunAll()
+	// The free list now holds the fired entry; the next schedule reuses it.
+	fresh := s.Schedule(10, func() {})
+	if stale.Active() {
+		t.Error("stale handle reports active after its timer fired")
+	}
+	if s.Cancel(stale) {
+		t.Error("stale handle canceled a recycled timer")
+	}
+	if !fresh.Active() {
+		t.Fatal("recycled timer should be active for its new owner")
+	}
+	if !s.Cancel(fresh) {
+		t.Error("fresh handle failed to cancel its own timer")
+	}
+	// Same protection after cancellation recycles the entry.
+	reused := s.Schedule(20, func() {})
+	if fresh.Active() || s.Cancel(fresh) {
+		t.Error("canceled handle affects the reused entry")
+	}
+	if !reused.Active() {
+		t.Error("reused entry should be active")
+	}
+}
+
+// TestSteadyStateAllocFree: once the free list is warm, scheduling and
+// firing performs no heap allocation.
+func TestSteadyStateAllocFree(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	// Warm the free list and heap capacity.
+	for i := 0; i < 64; i++ {
+		s.Schedule(Time(i), fn)
+	}
+	s.RunAll()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			s.Schedule(Time(i%7), fn)
+		}
+		s.RunAll()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state scheduling allocates %v per run, want 0", allocs)
+	}
+}
+
+// pingEvent implements Event for the closure-free scheduling path.
+type pingEvent struct {
+	s     *Scheduler
+	fires int
+	last  Time
+}
+
+func (e *pingEvent) Fire() {
+	e.fires++
+	e.last = e.s.Now()
+}
+
+func TestScheduleEvent(t *testing.T) {
+	s := New(1)
+	ev := &pingEvent{s: s}
+	s.ScheduleEvent(15, ev)
+	tm := s.AtEvent(30, ev)
+	s.ScheduleEvent(40, ev)
+	s.Cancel(tm)
+	s.RunAll()
+	if ev.fires != 2 {
+		t.Errorf("event fired %d times, want 2 (one canceled)", ev.fires)
+	}
+	if ev.last != 40 {
+		t.Errorf("last firing at %v, want 40", ev.last)
+	}
+	if s.Executed() != 2 {
+		t.Errorf("Executed = %d, want 2", s.Executed())
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.ScheduleEvent(5, ev)
+		s.RunAll()
+	})
+	if allocs != 0 {
+		t.Errorf("pooled event scheduling allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestEventClosureInterleaving: closure timers and typed events share one
+// queue and one FIFO ordering.
+func TestEventClosureInterleaving(t *testing.T) {
+	s := New(1)
+	var order []string
+	ev := orderEvent{log: &order, tag: "event"}
+	s.At(10, func() { order = append(order, "fn1") })
+	s.AtEvent(10, &ev)
+	s.At(10, func() { order = append(order, "fn2") })
+	s.RunAll()
+	want := []string{"fn1", "event", "fn2"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+type orderEvent struct {
+	log *[]string
+	tag string
+}
+
+func (e *orderEvent) Fire() { *e.log = append(*e.log, e.tag) }
 
 func TestRunUntil(t *testing.T) {
 	s := New(1)
@@ -255,7 +373,7 @@ func TestCancelStorm(t *testing.T) {
 	s := New(7)
 	rng := rand.New(rand.NewSource(99))
 	var live, canceled int
-	var timers []*Timer
+	var timers []Timer
 	for i := 0; i < 10000; i++ {
 		tm := s.At(Time(rng.Intn(5000)), func() { live++ })
 		timers = append(timers, tm)
@@ -302,7 +420,7 @@ func TestSchedulerAgainstReferenceModel(t *testing.T) {
 		rng := rand.New(rand.NewSource(int64(trial) * 7))
 		var (
 			model  []*ref
-			timers []*Timer
+			timers []Timer
 			fired  []int
 		)
 		for i := 0; i < 500; i++ {

@@ -1,0 +1,140 @@
+package des
+
+// Differential test of the hand-rolled typed min-heap against the stdlib
+// container/heap implementation the scheduler originally used. Both sides
+// see the same randomized stream of inserts and cancellations; the pop
+// order must match exactly, including FIFO tie-breaking among
+// simultaneous events and the behavior of index-based removal.
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refTimer mirrors the scheduler's queue entry for the reference heap.
+type refTimer struct {
+	at    Time
+	seq   uint64
+	id    int
+	index int
+}
+
+// refHeap is the container/heap-backed reference: a min-heap over
+// (at, seq) with index maintenance, exactly like the pre-optimization
+// scheduler queue.
+type refHeap []*refTimer
+
+func (h refHeap) Len() int { return len(h) }
+
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h refHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *refHeap) Push(x any) {
+	tm := x.(*refTimer)
+	tm.index = len(*h)
+	*h = append(*h, tm)
+}
+
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	tm := old[n-1]
+	old[n-1] = nil
+	tm.index = -1
+	*h = old[:n-1]
+	return tm
+}
+
+// TestTypedHeapMatchesContainerHeap drives the scheduler and the
+// reference heap with identical random insert/cancel workloads and
+// checks they agree on the exact firing order.
+func TestTypedHeapMatchesContainerHeap(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)*1009 + 1))
+		s := New(0)
+
+		var ref refHeap
+		var refSeq uint64
+		live := make(map[int]*refTimer) // id -> reference entry still queued
+		handles := make(map[int]Timer)  // id -> scheduler handle
+		var fired []int                 // scheduler-side firing order
+		nextID := 0
+
+		ops := 2000
+		for op := 0; op < ops; op++ {
+			switch r := rng.Intn(10); {
+			case r < 6: // insert
+				id := nextID
+				nextID++
+				at := Time(rng.Intn(100000))
+				handles[id] = s.At(at, func() { fired = append(fired, id) })
+				// The scheduler clamps to Now; mirror that.
+				if at < s.Now() {
+					at = s.Now()
+				}
+				refSeq++
+				tm := &refTimer{at: at, seq: refSeq, id: id}
+				heap.Push(&ref, tm)
+				live[id] = tm
+			case r < 8: // cancel a random live timer
+				for id, tm := range live {
+					got := s.Cancel(handles[id])
+					if !got {
+						t.Fatalf("trial %d: Cancel of live timer %d failed", trial, id)
+					}
+					heap.Remove(&ref, tm.index)
+					delete(live, id)
+					break
+				}
+			default: // run a bounded slice of virtual time
+				horizon := s.Now() + Time(rng.Intn(20000))
+				s.Run(horizon)
+				for ref.Len() > 0 && ref[0].at <= horizon {
+					tm := heap.Pop(&ref).(*refTimer)
+					delete(live, tm.id)
+					if len(fired) == 0 {
+						t.Fatalf("trial %d: reference fired %d, scheduler fired nothing", trial, tm.id)
+					}
+					got := fired[0]
+					fired = fired[1:]
+					if got != tm.id {
+						t.Fatalf("trial %d: pop order diverged: scheduler %d, reference %d", trial, got, tm.id)
+					}
+				}
+				if len(fired) != 0 {
+					t.Fatalf("trial %d: scheduler fired %d extra events", trial, len(fired))
+				}
+			}
+		}
+		// Drain both completely.
+		s.RunAll()
+		for ref.Len() > 0 {
+			tm := heap.Pop(&ref).(*refTimer)
+			if len(fired) == 0 {
+				t.Fatalf("trial %d: drain: reference had %d, scheduler empty", trial, tm.id)
+			}
+			got := fired[0]
+			fired = fired[1:]
+			if got != tm.id {
+				t.Fatalf("trial %d: drain order diverged: scheduler %d, reference %d", trial, got, tm.id)
+			}
+		}
+		if len(fired) != 0 {
+			t.Fatalf("trial %d: scheduler fired %d events the reference never had", trial, len(fired))
+		}
+		if s.Pending() != 0 {
+			t.Fatalf("trial %d: %d events still pending after drain", trial, s.Pending())
+		}
+	}
+}

@@ -337,21 +337,32 @@ func RunBatch(cfg SimConfig, topologies int) (*BatchResult, error) {
 	}
 	results := make([]*SimResult, topologies)
 	errs := make([]error, topologies)
+	// A fixed-size worker pool pulling indices from a channel: launching
+	// one goroutine per topology up front would allocate stacks for a
+	// whole sweep (hundreds of cells × topologies) that mostly sit parked
+	// on a semaphore.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > topologies {
+		workers = topologies
+	}
+	jobs := make(chan int)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := 0; i < topologies; i++ {
-		i := i
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			c := cfg
-			c.Seed = cfg.Seed + int64(i)
-			c.Topology = nil
-			results[i], errs[i] = RunSim(c)
+			for i := range jobs {
+				c := cfg
+				c.Seed = cfg.Seed + int64(i)
+				c.Topology = nil
+				results[i], errs[i] = RunSim(c)
+			}
 		}()
 	}
+	for i := 0; i < topologies; i++ {
+		jobs <- i
+	}
+	close(jobs)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

@@ -244,16 +244,25 @@ type Node struct {
 	holdUntil des.Time // responder-side hold covering an exchange we joined
 	needEIFS  bool
 
-	difsTimer *des.Timer
-	slotTimer *des.Timer
-	navTimer  *des.Timer
-	ctsTo     *des.Timer
-	ackTo     *des.Timer
+	difsTimer des.Timer
+	slotTimer des.Timer
+	navTimer  des.Timer
+	ctsTo     des.Timer
+	ackTo     des.Timer
+
+	// Contention callbacks fire millions of times per simulated second;
+	// binding the method values once here keeps the scheduling hot path
+	// free of per-call closure allocations.
+	resumeDeferenceFn func()
+	difsElapsedFn     func()
+	slotElapsedFn     func()
+	onCTSTimeoutFn    func()
+	onACKTimeoutFn    func()
 
 	// respPending is set while a SIFS-separated transmission (CTS, DATA
 	// after CTS, ACK) is scheduled or on the air; contention stays frozen.
 	respPending bool
-	respTimer   *des.Timer
+	respTimer   des.Timer
 
 	// txType is the frame type currently on the air (valid while the
 	// radio transmits).
@@ -286,6 +295,11 @@ func New(sched *des.Scheduler, radio *phy.Radio, table *neighbor.Table, src Sour
 		cw:       cfg.CWMin,
 		lastData: make(map[phy.NodeID]int64),
 	}
+	n.resumeDeferenceFn = n.resumeDeference
+	n.difsElapsedFn = n.difsElapsed
+	n.slotElapsedFn = n.slotElapsed
+	n.onCTSTimeoutFn = n.onCTSTimeout
+	n.onACKTimeoutFn = n.onACKTimeout
 	radio.SetHandler(n)
 	return n, nil
 }
@@ -377,14 +391,14 @@ func (n *Node) resumeDeference() {
 		wait = n.holdUntil
 	}
 	if wait > now {
-		n.navTimer = n.sched.At(wait, n.resumeDeference)
+		n.navTimer = n.sched.At(wait, n.resumeDeferenceFn)
 		return
 	}
 	d := n.cfg.DIFS
 	if n.needEIFS && !n.cfg.DisableEIFS {
 		d = n.eifs()
 	}
-	n.difsTimer = n.sched.Schedule(d, n.difsElapsed)
+	n.difsTimer = n.sched.Schedule(d, n.difsElapsedFn)
 }
 
 // difsElapsed runs when the medium stayed idle through DIFS/EIFS; the
@@ -404,10 +418,13 @@ func (n *Node) tickSlot() {
 		n.transmitAttempt()
 		return
 	}
-	n.slotTimer = n.sched.Schedule(n.cfg.Slot, func() {
-		n.backoff--
-		n.tickSlot()
-	})
+	n.slotTimer = n.sched.Schedule(n.cfg.Slot, n.slotElapsedFn)
+}
+
+// slotElapsed burns one backoff slot and re-checks the counter.
+func (n *Node) slotElapsed() {
+	n.backoff--
+	n.tickSlot()
 }
 
 // mode returns the antenna mode for a frame of type ft toward dst.
@@ -694,11 +711,11 @@ func (n *Node) OnTxDone() {
 	case phy.RTS:
 		n.st = stWaitCTS
 		to := n.cfg.SIFS + n.air(n.cfg.CTSBytes) + 2*prop + n.cfg.Slot
-		n.ctsTo = n.sched.Schedule(to, n.onCTSTimeout)
+		n.ctsTo = n.sched.Schedule(to, n.onCTSTimeoutFn)
 	case phy.Data:
 		n.st = stWaitACK
 		to := n.cfg.SIFS + n.air(n.cfg.ACKBytes) + 2*prop + n.cfg.Slot
-		n.ackTo = n.sched.Schedule(to, n.onACKTimeout)
+		n.ackTo = n.sched.Schedule(to, n.onACKTimeoutFn)
 	case phy.CTS, phy.ACK:
 		n.resumeDeference()
 	}

@@ -1,0 +1,185 @@
+package phy
+
+// Tests for the channel's spatial index: the grid must agree with a
+// brute-force all-pairs scan in every geometry, stay correct through
+// mobility (lazy invalidation on SetPos), and keep steady-state delivery
+// allocation-free.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/geom"
+)
+
+// brutNeighbors is the reference all-pairs neighbor scan.
+func brutNeighbors(c *Channel, id NodeID) []NodeID {
+	self := c.Radio(id)
+	r2 := c.Params().Range * c.Params().Range
+	var out []NodeID
+	for i := 0; i < c.NumRadios(); i++ {
+		o := c.Radio(NodeID(i))
+		if o.ID() != id && o.Pos().Dist2(self.Pos()) <= r2 {
+			out = append(out, o.ID())
+		}
+	}
+	return out
+}
+
+func sameIDs(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGridNeighborsMatchBruteForce: random clouds at several scales and
+// ranges, including positions straddling cell boundaries and negative
+// coordinates.
+func TestGridNeighborsMatchBruteForce(t *testing.T) {
+	for _, rng0 := range []float64{0.3, 1.0, 2.5} {
+		rng := rand.New(rand.NewSource(int64(rng0 * 100)))
+		sched := des.New(1)
+		p := DefaultParams()
+		p.Range = rng0
+		ch, err := NewChannel(sched, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var handlers [60]discardHandler
+		for i := 0; i < 60; i++ {
+			pos := geom.Point{X: rng.Float64()*8 - 4, Y: rng.Float64()*8 - 4}
+			ch.AddRadio(pos, &handlers[i])
+		}
+		for id := 0; id < 60; id++ {
+			got := ch.Neighbors(NodeID(id))
+			want := brutNeighbors(ch, NodeID(id))
+			if !sameIDs(got, want) {
+				t.Fatalf("range %v node %d: grid %v, brute force %v", rng0, id, got, want)
+			}
+		}
+	}
+}
+
+// TestGridInvalidationOnSetPos: moving radios must invalidate the index;
+// neighbor queries after each batch of moves see the new geometry.
+func TestGridInvalidationOnSetPos(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sched := des.New(1)
+	ch, err := NewChannel(sched, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var handlers [30]discardHandler
+	for i := 0; i < 30; i++ {
+		ch.AddRadio(geom.Point{X: rng.Float64() * 5, Y: rng.Float64() * 5}, &handlers[i])
+	}
+	for round := 0; round < 20; round++ {
+		// Move a random subset, sometimes across many cells.
+		for i := 0; i < 30; i++ {
+			if rng.Intn(3) == 0 {
+				ch.Radio(NodeID(i)).SetPos(geom.Point{X: rng.Float64()*10 - 5, Y: rng.Float64()*10 - 5})
+			}
+		}
+		for id := 0; id < 30; id++ {
+			got := ch.Neighbors(NodeID(id))
+			want := brutNeighbors(ch, NodeID(id))
+			if !sameIDs(got, want) {
+				t.Fatalf("round %d node %d: grid %v, brute force %v", round, id, got, want)
+			}
+		}
+	}
+}
+
+// countingHandler tallies deliveries.
+type countingHandler struct {
+	discardHandler
+	frames int
+	errors int
+}
+
+func (h *countingHandler) OnFrame(Frame) { h.frames++ }
+func (h *countingHandler) OnFrameError() { h.errors++ }
+
+// TestGriddedPropagationMatchesAllPairs: a transmission from every node
+// in a multi-cell cloud must reach exactly the in-range, in-beam set the
+// seed implementation's full scan reached.
+func TestGriddedPropagationMatchesAllPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sched := des.New(1)
+	p := DefaultParams()
+	p.Range = 0.8
+	ch, err := NewChannel(sched, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 40
+	handlers := make([]countingHandler, n)
+	for i := 0; i < n; i++ {
+		ch.AddRadio(geom.Point{X: rng.Float64()*4 - 2, Y: rng.Float64()*4 - 2}, &handlers[i])
+	}
+	for src := 0; src < n; src++ {
+		for i := range handlers {
+			handlers[i].frames = 0
+		}
+		tx := ch.Radio(NodeID(src))
+		mode := Directed(rng.Float64()*6-3, 1.2)
+		if _, err := tx.Transmit(Frame{Type: Data, Src: tx.ID(), Dst: Broadcast, Bytes: 100}, mode); err != nil {
+			t.Fatal(err)
+		}
+		sched.RunAll()
+		for i := range handlers {
+			want := 0
+			if NodeID(i) != tx.ID() &&
+				ch.Radio(NodeID(i)).Pos().Dist2(tx.Pos()) <= p.Range*p.Range &&
+				mode.Covers(tx.Pos().Bearing(ch.Radio(NodeID(i)).Pos())) {
+				want = 1
+			}
+			if handlers[i].frames != want {
+				t.Fatalf("src %d -> node %d: delivered %d, want %d", src, i, handlers[i].frames, want)
+			}
+		}
+	}
+}
+
+// TestBroadcastAllocFree: once the channel pools are warm, an omni
+// broadcast into a dense neighborhood schedules all its delivery events
+// without allocating.
+func TestBroadcastAllocFree(t *testing.T) {
+	sched := des.New(1)
+	ch, err := NewChannel(sched, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var handlers [17]discardHandler
+	tx := ch.AddRadio(geom.Point{}, &handlers[0])
+	for i := 1; i < 17; i++ {
+		ch.AddRadio(geom.Polar(geom.Point{}, 0.9, float64(i)), &handlers[i])
+	}
+	warm := func() {
+		if _, err := tx.Transmit(Frame{Type: Data, Bytes: 1460}, Omni); err != nil {
+			t.Fatal(err)
+		}
+		sched.RunAll()
+	}
+	warm()
+	allocs := testing.AllocsPerRun(50, warm)
+	if allocs != 0 {
+		t.Errorf("steady-state broadcast allocates %v per op, want 0", allocs)
+	}
+}
+
+// discardHandler is a no-op PHY handler.
+type discardHandler struct{}
+
+func (discardHandler) OnCarrierBusy() {}
+func (discardHandler) OnCarrierIdle() {}
+func (discardHandler) OnFrame(Frame)  {}
+func (discardHandler) OnFrameError()  {}
+func (discardHandler) OnTxDone()      {}

@@ -16,6 +16,7 @@ package phy
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/des"
 	"repro/internal/geom"
@@ -235,6 +236,7 @@ type Radio struct {
 
 	transmitting bool
 	active       []*signal // signals currently on the air at this radio
+	txDone       txDoneEvent
 }
 
 // ID returns the radio's node ID.
@@ -249,8 +251,13 @@ func (r *Radio) Pos() geom.Point { return r.pos }
 
 // SetPos moves the radio (mobility support). Propagation decisions use
 // positions as of each transmission's start; a frame already in flight is
-// unaffected by later movement (quasi-static per frame).
-func (r *Radio) SetPos(p geom.Point) { r.pos = p }
+// unaffected by later movement (quasi-static per frame). Moving a radio
+// invalidates the channel's spatial index, which is rebuilt lazily on the
+// next transmission.
+func (r *Radio) SetPos(p geom.Point) {
+	r.pos = p
+	r.ch.gridDirty = true
+}
 
 // Transmitting reports whether the radio is currently transmitting.
 func (r *Radio) Transmitting() bool { return r.transmitting }
@@ -281,11 +288,21 @@ func (r *Radio) Transmit(f Frame, m Mode) (des.Time, error) {
 	r.ch.txTime[f.Type] += airtime
 	r.ch.txCount[f.Type]++
 	r.ch.propagate(r, f, m, airtime)
-	r.ch.sched.Schedule(airtime, func() {
-		r.transmitting = false
-		r.handler.OnTxDone()
-	})
+	r.ch.sched.ScheduleEvent(airtime, &r.txDone)
 	return airtime, nil
+}
+
+// txDoneEvent signals the end of a radio's own transmission. Each radio
+// embeds one — a half-duplex radio has at most one transmission in
+// flight, so the event needs no pooling and no allocation.
+type txDoneEvent struct {
+	r *Radio
+}
+
+// Fire completes the transmission and notifies the MAC.
+func (e *txDoneEvent) Fire() {
+	e.r.transmitting = false
+	e.r.handler.OnTxDone()
 }
 
 // signalStart registers an arriving signal at this radio.
@@ -359,6 +376,13 @@ func (r *Radio) signalEnd(sig *signal) {
 }
 
 // Channel connects radios on a shared single-frequency medium.
+//
+// Delivery uses a uniform spatial grid with cell size equal to the
+// transmission range: every radio a transmission can reach lies in the
+// sender's cell or one of its eight neighbors, so propagation visits a
+// handful of candidates instead of scanning the whole network. The grid
+// is rebuilt lazily — AddRadio and SetPos only mark it dirty — so a burst
+// of mobility updates costs one rebuild, not one per move.
 type Channel struct {
 	sched  *des.Scheduler
 	params Params
@@ -366,6 +390,157 @@ type Channel struct {
 
 	txTime  map[FrameType]des.Time
 	txCount map[FrameType]int64
+
+	// Spatial index: cell -> slot in buckets; buckets hold radio IDs in
+	// ascending order (deterministic delivery order). Bucket storage is
+	// reused across rebuilds.
+	cells       map[cellKey]int
+	buckets     [][]int32
+	usedBuckets int
+	gridDirty   bool
+	scratch     []int32 // candidate IDs gathered per transmission
+
+	// Free lists for per-delivery objects, so a steady-state transmission
+	// schedules its receiver events without allocating.
+	freeSigs   []*signal
+	freeEvents []*sigEvent
+	freeHints  []*navHintEvent
+}
+
+// cellKey addresses one grid cell (position divided by range, floored).
+type cellKey struct {
+	x, y int32
+}
+
+// cellOf maps a position to its grid cell.
+func (c *Channel) cellOf(p geom.Point) cellKey {
+	inv := 1 / c.params.Range
+	return cellKey{x: int32(math.Floor(p.X * inv)), y: int32(math.Floor(p.Y * inv))}
+}
+
+// rebuildGrid reindexes every radio. Buckets fill in radio-ID order, so
+// each stays sorted without an explicit sort.
+func (c *Channel) rebuildGrid() {
+	for i := 0; i < c.usedBuckets; i++ {
+		c.buckets[i] = c.buckets[i][:0]
+	}
+	if c.cells == nil {
+		c.cells = make(map[cellKey]int, len(c.radios))
+	} else {
+		clear(c.cells)
+	}
+	c.usedBuckets = 0
+	for _, r := range c.radios {
+		k := c.cellOf(r.pos)
+		slot, ok := c.cells[k]
+		if !ok {
+			if c.usedBuckets == len(c.buckets) {
+				c.buckets = append(c.buckets, nil)
+			}
+			slot = c.usedBuckets
+			c.usedBuckets++
+			c.cells[k] = slot
+		}
+		c.buckets[slot] = append(c.buckets[slot], int32(r.id))
+	}
+	c.gridDirty = false
+}
+
+// gather collects the IDs of every radio in the 3×3 cell block around
+// pos into the channel's scratch buffer, sorted ascending so delivery
+// order matches a full ID-order scan bit for bit.
+func (c *Channel) gather(pos geom.Point) []int32 {
+	if c.gridDirty {
+		c.rebuildGrid()
+	}
+	center := c.cellOf(pos)
+	out := c.scratch[:0]
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			if slot, ok := c.cells[cellKey{x: center.x + dx, y: center.y + dy}]; ok {
+				out = append(out, c.buckets[slot]...)
+			}
+		}
+	}
+	slices.Sort(out)
+	c.scratch = out
+	return out
+}
+
+// allocSignal takes a recycled signal or makes a new one.
+func (c *Channel) allocSignal(f Frame, power float64) *signal {
+	if n := len(c.freeSigs); n > 0 {
+		sig := c.freeSigs[n-1]
+		c.freeSigs = c.freeSigs[:n-1]
+		*sig = signal{frame: f, power: power}
+		return sig
+	}
+	return &signal{frame: f, power: power}
+}
+
+// sigEvent delivers one signal edge (start or end) to one radio. Events
+// are pooled on the channel; an event recycles itself after firing, and
+// the end edge also recycles its signal (nothing references a signal
+// after signalEnd).
+type sigEvent struct {
+	ch  *Channel
+	dst *Radio
+	sig *signal
+	end bool
+}
+
+// Fire dispatches the signal edge and returns the event (and, on the end
+// edge, the signal) to the channel pools.
+func (e *sigEvent) Fire() {
+	if e.end {
+		e.dst.signalEnd(e.sig)
+		e.ch.freeSigs = append(e.ch.freeSigs, e.sig)
+	} else {
+		e.dst.signalStart(e.sig)
+	}
+	e.sig = nil
+	e.dst = nil
+	e.ch.freeEvents = append(e.ch.freeEvents, e)
+}
+
+// allocEvent takes a recycled delivery event or makes a new one.
+func (c *Channel) allocEvent(dst *Radio, sig *signal, end bool) *sigEvent {
+	if n := len(c.freeEvents); n > 0 {
+		e := c.freeEvents[n-1]
+		c.freeEvents = c.freeEvents[:n-1]
+		e.dst, e.sig, e.end = dst, sig, end
+		return e
+	}
+	return &sigEvent{ch: c, dst: dst, sig: sig, end: end}
+}
+
+// navHintEvent delivers an out-of-beam frame header under the NAV-oracle
+// ablation.
+type navHintEvent struct {
+	ch    *Channel
+	dst   *Radio
+	frame Frame
+}
+
+// Fire hands the header to the destination's NAVHinter, if implemented.
+func (e *navHintEvent) Fire() {
+	if h, ok := e.dst.handler.(NAVHinter); ok {
+		h.OnNAVHint(e.frame)
+	}
+	e.dst = nil
+	e.frame = Frame{}
+	e.ch.freeHints = append(e.ch.freeHints, e)
+}
+
+// allocHint takes a recycled NAV-hint event or makes a new one.
+func (c *Channel) allocHint(dst *Radio, f Frame) *navHintEvent {
+	if n := len(c.freeHints); n > 0 {
+		e := c.freeHints[n-1]
+		c.freeHints = c.freeHints[:n-1]
+		e.dst, e.frame = dst, f
+		return e
+	}
+	return &navHintEvent{ch: c, dst: dst, frame: f}
 }
 
 // NewChannel creates a channel driven by the given scheduler.
@@ -389,7 +564,9 @@ func (c *Channel) Params() Params { return c.params }
 // fires; it may be set later via SetHandler to break construction cycles.
 func (c *Channel) AddRadio(pos geom.Point, handler Handler) *Radio {
 	r := &Radio{id: NodeID(len(c.radios)), pos: pos, ch: c, handler: handler}
+	r.txDone.r = r
 	c.radios = append(c.radios, r)
+	c.gridDirty = true
 	return r
 }
 
@@ -433,7 +610,8 @@ func (c *Channel) Neighbors(id NodeID) []NodeID {
 	}
 	r2 := c.params.Range * c.params.Range
 	var out []NodeID
-	for _, o := range c.radios {
+	for _, cand := range c.gather(self.pos) {
+		o := c.radios[cand]
 		if o.id != id && o.pos.Dist2(self.pos) <= r2 {
 			out = append(out, o.id)
 		}
@@ -443,13 +621,23 @@ func (c *Channel) Neighbors(id NodeID) []NodeID {
 
 // propagate schedules signal start/end at every radio that hears the
 // transmission: in range, inside the beam, and not the sender itself.
+// Candidates come from the spatial grid (the sender's cell block), and
+// the received-power computation is deferred until after the beam check —
+// out-of-beam neighbors never pay for a math.Pow.
 func (c *Channel) propagate(src *Radio, f Frame, m Mode, airtime des.Time) {
 	r2 := c.params.Range * c.params.Range
-	for _, dst := range c.radios {
+	for _, cand := range c.gather(src.pos) {
+		dst := c.radios[cand]
 		if dst.id == src.id {
 			continue
 		}
 		if dst.pos.Dist2(src.pos) > r2 {
+			continue
+		}
+		if !m.Covers(src.pos.Bearing(dst.pos)) {
+			if c.params.NAVOracle {
+				c.sched.ScheduleEvent(c.params.PropDelay+airtime, c.allocHint(dst, f))
+			}
 			continue
 		}
 		power := 0.0
@@ -460,20 +648,8 @@ func (c *Channel) propagate(src *Radio, f Frame, m Mode, airtime des.Time) {
 			}
 			power = m.Gain() / math.Pow(d, c.params.PathLoss)
 		}
-		if !m.Covers(src.pos.Bearing(dst.pos)) {
-			if c.params.NAVOracle {
-				dst := dst
-				c.sched.Schedule(c.params.PropDelay+airtime, func() {
-					if h, ok := dst.handler.(NAVHinter); ok {
-						h.OnNAVHint(f)
-					}
-				})
-			}
-			continue
-		}
-		sig := &signal{frame: f, power: power}
-		dst := dst
-		c.sched.Schedule(c.params.PropDelay, func() { dst.signalStart(sig) })
-		c.sched.Schedule(c.params.PropDelay+airtime, func() { dst.signalEnd(sig) })
+		sig := c.allocSignal(f, power)
+		c.sched.ScheduleEvent(c.params.PropDelay, c.allocEvent(dst, sig, false))
+		c.sched.ScheduleEvent(c.params.PropDelay+airtime, c.allocEvent(dst, sig, true))
 	}
 }
