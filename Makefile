@@ -1,0 +1,45 @@
+# Local developer workflow. CI reuses these targets so the two never
+# drift: .github/workflows/ci.yml calls `make lint`, `make test` and
+# `make bench-smoke` rather than restating the commands.
+
+GO ?= go
+
+# Pinned external tool versions (also pinned in CI). Installed on
+# demand by `make lint-extra`; the core `lint` target needs nothing
+# beyond the repository itself.
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
+
+.PHONY: all build lint lint-extra test bench bench-smoke fmt-check
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+# Determinism and hot-path invariants, machine-enforced. See DESIGN.md
+# "Determinism invariants & static analysis".
+lint: fmt-check
+	$(GO) vet ./...
+	$(GO) run ./cmd/desalint ./...
+
+# External linters; kept out of `lint` so the default workflow works
+# fully offline. CI runs this with the same pinned versions.
+lint-extra:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
+test:
+	$(GO) test -race -shuffle=on ./...
+
+# Full benchmark run for local perf work.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# One iteration each: catches compile errors and panics in the
+# benchmark harness without turning CI into a perf run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkScheduler$$|BenchmarkChannelBroadcast$$' -benchtime 1x -benchmem .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

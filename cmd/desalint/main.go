@@ -1,0 +1,80 @@
+// Command desalint is the repository's determinism and hot-path
+// multichecker: it runs the internal/analysis suite (wallclock,
+// globalrand, maporder, hotpath, timerhandle) over module packages and
+// exits non-zero when any invariant is violated.
+//
+// Usage:
+//
+//	go run ./cmd/desalint ./...
+//	go run ./cmd/desalint ./internal/phy ./internal/mac
+//
+// Exit codes: 0 clean, 1 diagnostics reported, 2 usage or load error.
+// See DESIGN.md, "Determinism invariants & static analysis", for the
+// rules and the //desalint: annotation grammar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis/desalint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: desalint [packages]\n\nAnalyzers:\n")
+		for _, a := range desalint.Analyzers {
+			scope := "all module packages"
+			if a.SimOnly {
+				scope = "simulation packages"
+			}
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s (%s)\n      %s\n", a.Name, scope, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := findModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := desalint.Run(root, cwd, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "desalint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "desalint:", err)
+	os.Exit(2)
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

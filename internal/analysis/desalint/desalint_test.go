@@ -1,0 +1,116 @@
+package desalint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestSuiteInventory pins the analyzer roster: five analyzers, unique
+// names, with the reproducibility trio scoped to sim packages.
+func TestSuiteInventory(t *testing.T) {
+	if len(Analyzers) != 5 {
+		t.Fatalf("expected 5 analyzers, got %d", len(Analyzers))
+	}
+	simOnly := map[string]bool{"wallclock": true, "globalrand": true, "maporder": true, "hotpath": false, "timerhandle": false}
+	seen := map[string]bool{}
+	for _, a := range Analyzers {
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		want, ok := simOnly[a.Name]
+		if !ok {
+			t.Errorf("unexpected analyzer %q", a.Name)
+			continue
+		}
+		if a.SimOnly != want {
+			t.Errorf("%s: SimOnly = %v, want %v", a.Name, a.SimOnly, want)
+		}
+	}
+}
+
+func TestIsSimPackage(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/des":         true,
+		"repro/internal/phy":         true,
+		"repro/internal/mac":         true,
+		"repro/internal/experiments": true,
+		"repro/internal/des/sub":     true,
+		"repro/internal/plot":        false,
+		"repro/internal/analysis":    false,
+		"repro/cmd/bench":            false,
+		"repro":                      false,
+	} {
+		if got := IsSimPackage(path); got != want {
+			t.Errorf("IsSimPackage(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// TestRepositoryIsClean is the meta-test required by the suite: the
+// repository itself must lint clean, so any future PR introducing a
+// wall-clock read, global rand draw, unordered map range, hot-path
+// allocation or pointer timer handle fails here (and in CI).
+func TestRepositoryIsClean(t *testing.T) {
+	root := moduleRoot(t)
+	diags, err := Run(root, root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("desalint failed to run over the repository: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("repository is not lint-clean: %s", d)
+	}
+}
+
+// TestBadModuleIsCaught proves end to end that every analyzer (and the
+// annotation-verb check) fires on a module seeded with one violation of
+// each kind, and that sim-only analyzers skip non-sim packages.
+func TestBadModuleIsCaught(t *testing.T) {
+	badRoot, err := filepath.Abs(filepath.Join("testdata", "badmodule"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(badRoot, badRoot, []string{"./..."})
+	if err != nil {
+		t.Fatalf("desalint failed on bad module: %v", err)
+	}
+	got := map[string]int{}
+	for _, d := range diags {
+		got[d.Analyzer]++
+		if filepath.Base(filepath.Dir(d.Pos.Filename)) == "tool" {
+			t.Errorf("sim-only rule leaked into cmd/tool: %s", d)
+		}
+	}
+	want := map[string]int{
+		"wallclock":   1, // time.Now
+		"globalrand":  2, // rand.Seed, rand.Int63
+		"maporder":    1, // float accumulation
+		"hotpath":     1, // fmt.Sprintf in marked function
+		"timerhandle": 1, // *des.Timer package variable
+		"desalint":    1, // //desalint:comutative typo
+	}
+	for a, n := range want {
+		if got[a] != n {
+			t.Errorf("analyzer %s: %d diagnostic(s), want %d (all: %v)", a, got[a], n, diags)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+// Command tool shows the sim-only scoping: wall-clock and global rand
+// are fine outside simulation packages (the bench harness timestamps
+// its reports), while the timerhandle contract still applies.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func main() {
+	rand.Seed(1) // allowed here: not a sim package
+	fmt.Println(time.Now(), rand.Int())
+}

@@ -1,0 +1,39 @@
+// Package phy violates every desalint rule at least once; the suite
+// test asserts each analyzer fires on it.
+package phy
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/des"
+)
+
+// Jitter couples the run to the wall clock and the global generator.
+func Jitter() int64 {
+	rand.Seed(time.Now().UnixNano()) // wallclock + globalrand
+	return rand.Int63()              // globalrand
+}
+
+// Sum accumulates floats in map order.
+func Sum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // maporder (float accumulation)
+	}
+	return s
+}
+
+// pending stores a pointer handle.
+var pending *des.Timer // timerhandle
+
+// Hot allocates on a marked hot path.
+//
+//desalint:hotpath
+func Hot(x int) string {
+	return fmt.Sprintf("%d", x) // hotpath
+}
+
+//desalint:comutative typo in the verb
+var typoAnchor int // desalint (unknown verb)

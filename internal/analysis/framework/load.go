@@ -1,0 +1,350 @@
+// Package loading without golang.org/x/tools/go/packages: import paths
+// are resolved directly to directories (extra GOPATH-style roots for
+// test fixtures, the module tree for repository packages, GOROOT/src
+// for the standard library), files are selected with go/build so build
+// constraints apply, and packages are typechecked recursively from
+// source. Standard-library dependencies are checked with
+// IgnoreFuncBodies — analyzers only need their exported API shapes —
+// while fixture and module packages get full bodies and type
+// information.
+
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// LoadConfig directs import-path resolution.
+type LoadConfig struct {
+	// ModuleRoot is the directory containing go.mod; empty disables
+	// module resolution (fixture loading).
+	ModuleRoot string
+	// ModulePath is the module's import-path prefix; read from go.mod
+	// when empty and ModuleRoot is set.
+	ModulePath string
+	// ExtraRoots are GOPATH-src-style directories consulted first, used
+	// by the fixture runner (testdata/src).
+	ExtraRoots []string
+}
+
+// Loader resolves, parses and typechecks packages, caching by import
+// path so shared dependencies are checked once.
+type Loader struct {
+	cfg  LoadConfig
+	fset *token.FileSet
+	ctx  build.Context
+	pkgs map[string]*loadEntry
+}
+
+type loadEntry struct {
+	pkg     *Package // nil for dependency-only (stdlib) packages
+	types   *types.Package
+	err     error
+	loading bool
+}
+
+// NewLoader returns a Loader for the given configuration. When
+// cfg.ModuleRoot is set and cfg.ModulePath is empty, the module path is
+// read from go.mod.
+func NewLoader(cfg LoadConfig) (*Loader, error) {
+	if cfg.ModuleRoot != "" && cfg.ModulePath == "" {
+		mp, err := readModulePath(filepath.Join(cfg.ModuleRoot, "go.mod"))
+		if err != nil {
+			return nil, err
+		}
+		cfg.ModulePath = mp
+	}
+	ctx := build.Default
+	// Resolution is by directory; keep go/build away from module-mode
+	// lookups of its own.
+	ctx.GOPATH = ""
+	return &Loader{
+		cfg:  cfg,
+		fset: token.NewFileSet(),
+		ctx:  ctx,
+		pkgs: make(map[string]*loadEntry),
+	}, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// ModulePath reads the module import path from moduleRoot/go.mod.
+func ModulePath(moduleRoot string) (string, error) {
+	return readModulePath(filepath.Join(moduleRoot, "go.mod"))
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if mp, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(mp), nil
+		}
+	}
+	return "", fmt.Errorf("no module line in %s", gomod)
+}
+
+// resolve maps an import path to (directory, fully-analyzed?). Fixture
+// roots and module packages are analysis targets; the standard library
+// is a dependency.
+func (l *Loader) resolve(path string) (dir string, full bool, err error) {
+	for _, root := range l.cfg.ExtraRoots {
+		d := filepath.Join(root, filepath.FromSlash(path))
+		if isDir(d) {
+			return d, true, nil
+		}
+	}
+	if mp := l.cfg.ModulePath; mp != "" {
+		if path == mp {
+			return l.cfg.ModuleRoot, true, nil
+		}
+		if rel, ok := strings.CutPrefix(path, mp+"/"); ok {
+			d := filepath.Join(l.cfg.ModuleRoot, filepath.FromSlash(rel))
+			if !isDir(d) {
+				return "", false, fmt.Errorf("module package %s: no directory %s", path, d)
+			}
+			return d, true, nil
+		}
+	}
+	goroot := runtime.GOROOT()
+	if d := filepath.Join(goroot, "src", filepath.FromSlash(path)); isDir(d) {
+		return d, false, nil
+	}
+	// Standard-library vendored dependencies (golang.org/x/... under
+	// GOROOT/src/vendor).
+	if d := filepath.Join(goroot, "src", "vendor", filepath.FromSlash(path)); isDir(d) {
+		return d, false, nil
+	}
+	return "", false, fmt.Errorf("cannot resolve import %q (no fixture, module or GOROOT directory)", path)
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
+// Import implements the types.Importer contract over resolve, caching
+// and cycle-checking.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if e, ok := l.pkgs[path]; ok {
+		if e.loading {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return e.types, e.err
+	}
+	e := &loadEntry{loading: true}
+	l.pkgs[path] = e
+	dir, full, err := l.resolve(path)
+	if err == nil {
+		e.pkg, e.types, err = l.check(path, dir, full)
+	}
+	e.err = err
+	e.loading = false
+	return e.types, e.err
+}
+
+// Load returns the fully-analyzed Package for an import path resolved
+// inside a fixture root or the module.
+func (l *Loader) Load(path string) (*Package, error) {
+	if _, err := l.Import(path); err != nil {
+		return nil, err
+	}
+	e := l.pkgs[path]
+	if e.pkg == nil {
+		return nil, fmt.Errorf("package %q resolved as dependency-only (standard library?)", path)
+	}
+	return e.pkg, nil
+}
+
+// check parses and typechecks the package rooted at dir.
+func (l *Loader) check(path, dir string, full bool) (*Package, *types.Package, error) {
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	var info *types.Info
+	if full {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+	}
+	conf := types.Config{
+		Importer:         importerFunc(l.Import),
+		IgnoreFuncBodies: !full,
+		FakeImportC:      true,
+		Sizes:            types.SizesFor(l.ctx.Compiler, l.ctx.GOARCH),
+	}
+	var firstErr error
+	conf.Error = func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		if firstErr != nil {
+			err = firstErr
+		}
+		return nil, nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	var pkg *Package
+	if full {
+		pkg = &Package{Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	}
+	return pkg, tpkg, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// ExpandPatterns turns command-line package patterns into module import
+// paths. Supported forms: "./..." (every package under the module
+// root), "./dir" and "./dir/..." (relative to base), or a plain import
+// path inside the module.
+func ExpandPatterns(cfg LoadConfig, base string, patterns []string) ([]string, error) {
+	if cfg.ModuleRoot == "" || cfg.ModulePath == "" {
+		return nil, fmt.Errorf("pattern expansion requires a module root")
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for _, pat := range patterns {
+		dir, recursive := base, false
+		switch {
+		case pat == "./..." || pat == "...":
+			dir, recursive = cfg.ModuleRoot, true
+		case strings.HasSuffix(pat, "/..."):
+			dir, recursive = filepath.Join(base, strings.TrimSuffix(pat, "/...")), true
+		case strings.HasPrefix(pat, "./") || pat == ".":
+			dir = filepath.Join(base, pat)
+		default:
+			// A plain import path inside the module.
+			if pat == cfg.ModulePath || strings.HasPrefix(pat, cfg.ModulePath+"/") {
+				add(pat)
+				continue
+			}
+			return nil, fmt.Errorf("unsupported package pattern %q", pat)
+		}
+		paths, err := dirPackages(cfg, dir, recursive)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range paths {
+			add(p)
+		}
+	}
+	return out, nil
+}
+
+// dirPackages lists the import paths of Go package directories under
+// dir (or just dir itself when recursive is false), skipping testdata,
+// vendor, hidden and underscore directories, mirroring the go tool's
+// "./..." semantics.
+func dirPackages(cfg LoadConfig, dir string, recursive bool) ([]string, error) {
+	root, err := filepath.Abs(cfg.ModuleRoot)
+	if err != nil {
+		return nil, err
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := func(d string) (string, error) {
+		rel, err := filepath.Rel(root, d)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return "", fmt.Errorf("directory %s is outside module root %s", d, root)
+		}
+		if rel == "." {
+			return cfg.ModulePath, nil
+		}
+		return cfg.ModulePath + "/" + filepath.ToSlash(rel), nil
+	}
+	if !recursive {
+		p, err := importPath(abs)
+		if err != nil {
+			return nil, err
+		}
+		return []string{p}, nil
+	}
+	var out []string
+	err = filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != abs && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			p, err := importPath(path)
+			if err != nil {
+				return err
+			}
+			out = append(out, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,69 @@
+// Package globalrand forbids the process-global math/rand generator in
+// simulation packages. Reproducible runs thread one explicitly seeded
+// *rand.Rand through the call graph (des.New seeds the scheduler
+// stream, topology.Generate takes the caller's); the package-level
+// convenience functions draw from shared global state whose sequence
+// depends on everything else in the process — including other
+// goroutines — so a single rand.Intn silently breaks run-to-run
+// determinism. Constructors (rand.New, rand.NewSource, rand.NewZipf)
+// stay allowed: they are exactly how the explicit streams are built.
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// randPackages are the import paths whose package-level functions are
+// checked.
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// constructors are the package-level functions that build explicit
+// generators rather than touching the global one.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// Analyzer implements the check.
+var Analyzer = &framework.Analyzer{
+	Name:    "globalrand",
+	Doc:     "forbid the global math/rand generator in simulation packages; thread an explicitly seeded *rand.Rand",
+	SimOnly: true,
+	Run:     run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info().Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || !randPackages[fn.Pkg().Path()] {
+				return true
+			}
+			// Methods on *rand.Rand carry a receiver and are the
+			// sanctioned API; only package-level functions hit the
+			// global state.
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			if constructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(), "%s.%s draws from the process-global generator; simulation code must use an explicitly seeded *rand.Rand (e.g. the scheduler's Rand())", fn.Pkg().Path(), fn.Name())
+			return true
+		})
+	}
+	return nil
+}

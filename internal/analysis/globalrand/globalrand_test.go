@@ -1,0 +1,12 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/globalrand"
+)
+
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), globalrand.Analyzer, "globalrand")
+}

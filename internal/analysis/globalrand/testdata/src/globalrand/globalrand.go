@@ -1,0 +1,22 @@
+// Fixture for the globalrand analyzer: package-level math/rand
+// functions are flagged, explicit generator construction and use are
+// not.
+package globalrand
+
+import "math/rand"
+
+func bad() {
+	rand.Seed(42)                      // want `math/rand\.Seed draws from the process-global generator`
+	_ = rand.Intn(10)                  // want `math/rand\.Intn draws from the process-global generator`
+	_ = rand.Float64()                 // want `math/rand\.Float64 draws from the process-global generator`
+	_ = rand.Perm(5)                   // want `math/rand\.Perm draws from the process-global generator`
+	rand.Shuffle(2, func(i, j int) {}) // want `math/rand\.Shuffle draws from the process-global generator`
+}
+
+func good(seed int64) float64 {
+	// Constructors build the explicitly seeded stream the simulator
+	// threads everywhere; methods on it are the sanctioned API.
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, 1.1, 1, 100)
+	return r.Float64() + float64(z.Uint64()) + float64(r.Intn(10))
+}

@@ -1,0 +1,138 @@
+// Package hotpath enforces the allocation-free contract on functions
+// marked //desalint:hotpath in their doc comment: the scheduler pump,
+// PHY propagate/delivery and MAC contention handlers, which PR 1
+// brought to 0 allocs/op. Inside a marked function the analyzer flags
+//
+//   - function literals that capture enclosing variables (each capture
+//     forces a heap-allocated closure; the codebase pre-binds method
+//     values at construction instead),
+//   - fmt.Sprintf / fmt.Errorf / fmt.Sprint / fmt.Sprintln and
+//     fmt.Appendf (formatting allocates even when the result is
+//     discarded),
+//   - append onto a fresh slice literal (grows from zero capacity on
+//     every call),
+//   - map and slice composite literals (always heap-backed when they
+//     escape, and the hot path must not gamble on escape analysis).
+//
+// The check is per function body, not transitive: marking a function
+// asserts its own statements are clean, and every callee worth the same
+// guarantee carries its own marker.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// allocatingFmt lists fmt functions that build strings or byte slices.
+var allocatingFmt = map[string]bool{
+	"Sprintf":  true,
+	"Sprint":   true,
+	"Sprintln": true,
+	"Errorf":   true,
+	"Appendf":  true,
+}
+
+// Analyzer implements the check.
+var Analyzer = &framework.Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid capturing closures, fmt formatting and fresh map/slice literals inside //desalint:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !pass.Pkg.HotPath(fd) {
+				continue
+			}
+			checkBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *framework.Pass, fd *ast.FuncDecl) {
+	// Slice literals already reported as part of an append are not
+	// reported a second time as bare literals.
+	reportedLits := make(map[*ast.CompositeLit]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if caps := capturedVars(pass, fd, n); len(caps) > 0 {
+				pass.Reportf(n.Pos(), "closure captures %s and allocates on every call; pre-bind a method value or thread state through an Event implementation", strings.Join(caps, ", "))
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n, reportedLits)
+		case *ast.CompositeLit:
+			if reportedLits[n] {
+				return true
+			}
+			tv, ok := pass.Info().Types[n]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates in a hot-path function; hoist it to a field or package variable")
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates in a hot-path function; reuse a pre-sized buffer")
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags allocating fmt calls and appends growing a fresh
+// slice literal.
+func checkCall(pass *framework.Pass, call *ast.CallExpr, reportedLits map[*ast.CompositeLit]bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Info().Uses[fun.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && allocatingFmt[fn.Name()] {
+			pass.Reportf(call.Pos(), "fmt.%s allocates its result; hot-path functions must not format (gate diagnostics behind a tracer check outside the marked function)", fn.Name())
+		}
+	case *ast.Ident:
+		b, ok := pass.Info().Uses[fun].(*types.Builtin)
+		if !ok || b.Name() != "append" || len(call.Args) == 0 {
+			return
+		}
+		if lit, ok := call.Args[0].(*ast.CompositeLit); ok {
+			reportedLits[lit] = true
+			pass.Reportf(call.Pos(), "append onto a fresh slice literal grows from zero capacity on every call; append into a reused, pre-sized buffer")
+		}
+	}
+}
+
+// capturedVars returns the sorted names of variables the literal
+// captures from its enclosing function: objects used inside the closure
+// but declared between the start of fd and the literal itself.
+// Package-level variables and struct fields are free to reference.
+func capturedVars(pass *framework.Pass, fd *ast.FuncDecl, lit *ast.FuncLit) []string {
+	seen := make(map[string]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Info().Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= fd.Pos() && v.Pos() < lit.Pos() {
+			seen[v.Name()] = true
+		}
+		return true
+	})
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,56 @@
+// Fixture for the hotpath analyzer: allocation sources inside
+// //desalint:hotpath functions are flagged; unmarked functions and
+// non-allocating constructs are not.
+package hotpath
+
+import "fmt"
+
+type node struct {
+	buf   []int
+	count int
+}
+
+type point struct{ x, y int }
+
+//desalint:hotpath
+func (n *node) badClosure(x int) func() int {
+	return func() int { return x + n.count } // want `closure captures n, x`
+}
+
+//desalint:hotpath
+func badFmt(err error) {
+	_ = fmt.Sprintf("%v", err)      // want `fmt\.Sprintf allocates`
+	_ = fmt.Errorf("wrap: %w", err) // want `fmt\.Errorf allocates`
+}
+
+//desalint:hotpath
+func badLiterals() int {
+	m := map[string]int{"a": 1} // want `map literal allocates`
+	s := []int{1, 2, 3}         // want `slice literal allocates`
+	return m["a"] + s[0]
+}
+
+//desalint:hotpath
+func badAppend(x int) []int {
+	return append([]int{}, x) // want `append onto a fresh slice literal`
+}
+
+// goodHot exercises the allowed constructs: appends into reused
+// buffers, struct literals (stack-allocated values), and non-capturing
+// function literals (static func values).
+//
+//desalint:hotpath
+func goodHot(n *node, x int) point {
+	n.buf = append(n.buf, x)
+	n.count++
+	f := func() int { return 1 }
+	return point{x: f(), y: x}
+}
+
+// coldPath is unmarked: anything goes.
+func coldPath(x int) func() int {
+	_ = fmt.Sprintf("%d", x)
+	_ = []int{x}
+	_ = map[int]int{x: x}
+	return func() int { return x }
+}

@@ -1,0 +1,179 @@
+// Package maporder flags for-range loops over maps in simulation
+// packages. Go randomizes map iteration order per run, so any result,
+// report line or floating-point accumulation shaped by that order
+// varies between otherwise identical runs. A map range is accepted only
+// when:
+//
+//   - it is the key-collection idiom (the body solely appends the key
+//     to a slice, which callers then sort), or
+//   - it carries a //desalint:commutative <reason> annotation on the
+//     loop line or the line above, with a non-empty reason.
+//
+// Floating-point accumulation (x += ..., x = x + ...) over a ranged map
+// is a hard error even when annotated: float addition is not
+// associative, so the result genuinely depends on iteration order and
+// no annotation can make it deterministic.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer implements the check.
+var Analyzer = &framework.Analyzer{
+	Name:    "maporder",
+	Doc:     "flag map iteration in simulation packages unless sorted (key collection) or annotated //desalint:commutative",
+	SimOnly: true,
+	Run:     run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info().Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pos, isFloat := floatAccumulation(pass, rs.Body); isFloat {
+				pass.Reportf(pos, "floating-point accumulation over map iteration order is never deterministic (float addition is not associative); accumulate over sorted keys instead")
+				return true
+			}
+			if a, ok := pass.Pkg.AnnotationAt(rs.For); ok && a.Verb == "commutative" {
+				if a.Arg == "" {
+					pass.Reportf(rs.For, "//desalint:commutative needs a stated reason (e.g. \"integer sum; order-independent\")")
+				}
+				return true
+			}
+			if isKeyCollection(pass, rs) {
+				return true
+			}
+			pass.Reportf(rs.For, "map iteration order is randomized and leaks into results; iterate sorted keys, or annotate the loop //desalint:commutative <reason> if the body is truly order-independent")
+			return true
+		})
+	}
+	return nil
+}
+
+// floatAccumulation reports whether the loop body accumulates into a
+// floating-point variable in an order-dependent way: x op= expr with an
+// arithmetic op, or x = x + ... / x = ... + x.
+func floatAccumulation(pass *framework.Pass, body *ast.BlockStmt) (token.Pos, bool) {
+	var pos token.Pos
+	var found bool
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			return true
+		}
+		lhs := as.Lhs[0]
+		if !isFloat(pass, lhs) {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			pos, found = as.TokPos, true
+		case token.ASSIGN:
+			if be, ok := as.Rhs[0].(*ast.BinaryExpr); ok && (be.Op == token.ADD || be.Op == token.MUL) {
+				if sameExpr(lhs, be.X) || sameExpr(lhs, be.Y) {
+					pos, found = as.TokPos, true
+				}
+			}
+		}
+		return true
+	})
+	return pos, found
+}
+
+// isFloat reports whether the expression has floating-point (or
+// complex) type.
+func isFloat(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info().Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// sameExpr compares two expressions structurally by their printed form
+// (good enough for the x = x + y accumulation pattern).
+func sameExpr(a, b ast.Expr) bool {
+	return types.ExprString(a) == types.ExprString(b)
+}
+
+// isKeyCollection recognizes the sort-then-iterate idiom's first half:
+//
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//
+// The body must be exactly one append of the key (possibly through a
+// conversion) onto the same slice it assigns.
+func isKeyCollection(pass *framework.Pass, rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Value != nil {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if b, ok := pass.Info().Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	if !sameExpr(as.Lhs[0], call.Args[0]) {
+		return false
+	}
+	// Every appended element must be the key, optionally converted.
+	for _, arg := range call.Args[1:] {
+		if !usesOnlyKey(pass, arg, key) {
+			return false
+		}
+	}
+	return true
+}
+
+// usesOnlyKey reports whether expr is the key identifier, possibly
+// wrapped in a type conversion.
+func usesOnlyKey(pass *framework.Pass, expr ast.Expr, key *ast.Ident) bool {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return pass.Info().Uses[e] == pass.Info().Defs[key]
+	case *ast.CallExpr:
+		// A conversion T(k).
+		if len(e.Args) != 1 {
+			return false
+		}
+		if tv, ok := pass.Info().Types[e.Fun]; !ok || !tv.IsType() {
+			return false
+		}
+		return usesOnlyKey(pass, e.Args[0], key)
+	default:
+		return false
+	}
+}

@@ -1,0 +1,90 @@
+// Fixture for the maporder analyzer: unordered map iteration is
+// flagged unless it is the key-collection idiom or carries an
+// annotated, non-float commutative reason.
+package maporder
+
+import "sort"
+
+func bad(m map[string]int) int {
+	var total int
+	for _, v := range m { // want `map iteration order is randomized`
+		total += v
+	}
+	return total
+}
+
+func annotatedOK(m map[string]int) int {
+	var total int
+	//desalint:commutative integer sum; addition is order-independent
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func annotatedInline(m map[string]bool) int {
+	var n int
+	for range m { //desalint:commutative counting; order-independent
+		n++
+	}
+	return n
+}
+
+func annotatedWithoutReason(m map[string]int) int {
+	var total int
+	//desalint:commutative
+	for _, v := range m { // want `needs a stated reason`
+		total += v
+	}
+	return total
+}
+
+func floatAccumAnnotated(m map[string]float64) float64 {
+	var sum float64
+	//desalint:commutative wishful thinking: the annotation cannot fix float order-dependence
+	for _, v := range m {
+		sum += v // want `floating-point accumulation`
+	}
+	return sum
+}
+
+func floatAccumPlain(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v // want `floating-point accumulation`
+	}
+	return sum
+}
+
+func keyCollectionOK(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func keyCollectionConvertedOK(m map[int]struct{}) []int64 {
+	var keys []int64
+	for k := range m {
+		keys = append(keys, int64(k))
+	}
+	return keys
+}
+
+func valueCollectionIsNotSorted(m map[string]int) []int {
+	var vals []int
+	for _, v := range m { // want `map iteration order is randomized`
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+func sliceRangeOK(xs []int) int {
+	var total int
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

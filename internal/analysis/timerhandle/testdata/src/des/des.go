@@ -1,0 +1,32 @@
+// Package des is a stub of the simulator kernel for the timerhandle
+// fixtures: only the Timer value-handle shape matters.
+package des
+
+// Timer is a generation-checked value handle for a scheduled event.
+type Timer struct {
+	gen uint32
+	at  int64
+}
+
+// Active reports whether the handle is live.
+func (t Timer) Active() bool { return t.gen != 0 }
+
+// recycle is internal representation management: the des package itself
+// may address its own timers (the analyzer exempts the defining
+// package).
+func recycle(t *Timer) { t.gen++ }
+
+// pool exercises the exemption for stored pointers too.
+var pool []*Timer
+
+func take() *Timer {
+	if len(pool) == 0 {
+		return new(Timer)
+	}
+	t := pool[len(pool)-1]
+	pool = pool[:len(pool)-1]
+	return t
+}
+
+var _ = recycle
+var _ = take

@@ -1,0 +1,42 @@
+// Fixture for the timerhandle analyzer: pointer forms of des.Timer are
+// flagged outside the des package; value handles are the contract.
+package timerhandle
+
+import "des"
+
+type holder struct {
+	t  des.Timer  // value handles are the contract
+	pt *des.Timer // want `\*des\.Timer defeats the generation-checked handle contract`
+}
+
+func param(p *des.Timer) { // want `\*des\.Timer defeats the generation-checked handle contract`
+	_ = p
+}
+
+func ret() *des.Timer { // want `\*des\.Timer defeats the generation-checked handle contract`
+	return nil
+}
+
+func addr() {
+	var t des.Timer
+	p := &t // want `taking the address of a des\.Timer`
+	_ = p
+	_ = t
+}
+
+func alloc() {
+	_ = new(des.Timer) // want `new\(des\.Timer\) yields a pointer handle`
+}
+
+func valueOK() bool {
+	var t des.Timer
+	u := t // copying the value handle is the intended use
+	return u.Active()
+}
+
+type otherTimer struct{ gen uint32 }
+
+func unrelatedOK(p *otherTimer) *otherTimer {
+	// Pointers to other Timer-shaped types are not the kernel's handle.
+	return p
+}

@@ -1,0 +1,82 @@
+// Package timerhandle protects the generation-checked value-handle
+// contract of des.Timer. Timer handles are small values carrying a
+// (entry pointer, generation) pair; retaining one after its event fired
+// is safe because the generation check makes stale handles inert. A
+// *des.Timer breaks that: the pointee can be overwritten by a later
+// schedule on another code path, two holders can race on Cancel, and
+// the nil/zero distinction blurs. The analyzer flags every appearance
+// of the pointer type (fields, variables, parameters, returns,
+// conversions), &timer expressions and new(des.Timer). The des package
+// itself is exempt — it owns the representation.
+package timerhandle
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer implements the check.
+var Analyzer = &framework.Analyzer{
+	Name: "timerhandle",
+	Doc:  "forbid *des.Timer and &Timer: scheduler timer handles are generation-checked values, never pointers",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StarExpr:
+				// *des.Timer used as a type (declaration, parameter,
+				// return, conversion, assertion).
+				tv, ok := pass.Info().Types[n]
+				if !ok || !tv.IsType() {
+					return true
+				}
+				if elemTV, ok := pass.Info().Types[n.X]; ok && isForeignTimer(pass, elemTV.Type) {
+					pass.Reportf(n.Pos(), "*des.Timer defeats the generation-checked handle contract; store and pass des.Timer by value")
+				}
+			case *ast.UnaryExpr:
+				if n.Op != token.AND {
+					return true
+				}
+				if tv, ok := pass.Info().Types[n.X]; ok && isForeignTimer(pass, tv.Type) {
+					pass.Reportf(n.Pos(), "taking the address of a des.Timer creates an aliasable pointer handle; copy the Timer value instead")
+				}
+			case *ast.CallExpr:
+				id, ok := n.Fun.(*ast.Ident)
+				if !ok || len(n.Args) != 1 {
+					return true
+				}
+				if b, ok := pass.Info().Uses[id].(*types.Builtin); !ok || b.Name() != "new" {
+					return true
+				}
+				if tv, ok := pass.Info().Types[n.Args[0]]; ok && tv.IsType() && isForeignTimer(pass, tv.Type) {
+					pass.Reportf(n.Pos(), "new(des.Timer) yields a pointer handle; declare a zero des.Timer value instead")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isForeignTimer reports whether t is the Timer type of a des package
+// other than the one being analyzed (the kernel may address its own
+// representation).
+func isForeignTimer(pass *framework.Pass, t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Timer" || obj.Pkg() == nil || obj.Pkg() == pass.Pkg.Types {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "des" || strings.HasSuffix(path, "/des")
+}

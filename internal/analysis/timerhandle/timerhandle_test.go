@@ -1,0 +1,14 @@
+package timerhandle_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/timerhandle"
+)
+
+func TestTimerHandle(t *testing.T) {
+	// The des stub itself must stay clean: the defining package is
+	// exempt from the pointer ban (it owns the representation).
+	analysistest.Run(t, analysistest.TestData(t), timerhandle.Analyzer, "timerhandle", "des")
+}

@@ -1,0 +1,32 @@
+// Fixture for the wallclock analyzer: wall-clock reads are flagged,
+// virtual-time arithmetic is not.
+package wallclock
+
+import (
+	"time"
+
+	wall "time"
+)
+
+// simTime stands in for des.Time.
+type simTime int64
+
+func bad() {
+	_ = time.Now()              // want `time\.Now reads the wall clock`
+	time.Sleep(time.Second)     // want `time\.Sleep reads the wall clock`
+	_ = time.Since(time.Time{}) // want `time\.Since reads the wall clock`
+	<-time.After(time.Second)   // want `time\.After reads the wall clock`
+	_ = time.Tick(time.Second)  // want `time\.Tick reads the wall clock`
+	_ = time.NewTimer(1)        // want `time\.NewTimer reads the wall clock`
+}
+
+func badAliased() {
+	_ = wall.Now() // want `time\.Now reads the wall clock`
+}
+
+func good(t simTime) string {
+	// Conversions and rendering through time.Duration are allowed: they
+	// do arithmetic on simulated nanoseconds, not clock reads.
+	d := time.Duration(t)
+	return d.String()
+}

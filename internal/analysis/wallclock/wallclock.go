@@ -1,0 +1,56 @@
+// Package wallclock forbids wall-clock time sources in simulation
+// packages. The DES kernel is bit-reproducible only because every
+// timestamp in a run derives from the virtual clock (des.Time advanced
+// by the scheduler); a single time.Now or time.Sleep couples results to
+// the host machine and destroys the golden-config guarantees. The
+// analyzer flags every reference to the time package's clock-reading
+// and real-time-waiting functions; conversions like time.Duration and
+// rendering helpers remain allowed.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// forbidden lists the time-package functions that read or wait on the
+// wall clock.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Analyzer implements the check.
+var Analyzer = &framework.Analyzer{
+	Name:    "wallclock",
+	Doc:     "forbid wall-clock time (time.Now, time.Sleep, ...) in simulation packages; use the scheduler's des.Time",
+	SimOnly: true,
+	Run:     run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info().Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !forbidden[fn.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(), "time.%s reads the wall clock; simulation code must derive all timestamps from the scheduler's virtual clock (des.Time)", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -131,6 +131,8 @@ func (s *Scheduler) Pending() int {
 }
 
 // alloc takes a recycled timer from the free list or makes a new one.
+//
+//desalint:hotpath
 func (s *Scheduler) alloc() *timer {
 	if n := len(s.free); n > 0 {
 		tm := s.free[n-1]
@@ -144,6 +146,8 @@ func (s *Scheduler) alloc() *timer {
 // recycle invalidates every outstanding handle to tm and returns it to
 // the free list. Callbacks are cleared so the queue never retains
 // captured state past a timer's lifetime.
+//
+//desalint:hotpath
 func (s *Scheduler) recycle(tm *timer) {
 	tm.gen++
 	tm.fn = nil
@@ -153,6 +157,8 @@ func (s *Scheduler) recycle(tm *timer) {
 }
 
 // insert enqueues a prepared timer and returns its handle.
+//
+//desalint:hotpath
 func (s *Scheduler) insert(tm *timer, at Time) Timer {
 	if at < s.now {
 		at = s.now
@@ -169,6 +175,8 @@ func (s *Scheduler) insert(tm *timer, at Time) Timer {
 // At schedules fn to run at absolute time t. Scheduling in the past (t
 // before Now) clamps to Now, preserving causality. Events scheduled for
 // the same instant fire in scheduling order.
+//
+//desalint:hotpath
 func (s *Scheduler) At(t Time, fn func()) Timer {
 	tm := s.alloc()
 	tm.fn = fn
@@ -177,6 +185,8 @@ func (s *Scheduler) At(t Time, fn func()) Timer {
 
 // Schedule schedules fn to run after delay d from now. Negative delays
 // clamp to zero.
+//
+//desalint:hotpath
 func (s *Scheduler) Schedule(d Time, fn func()) Timer {
 	if d < 0 {
 		d = 0
@@ -187,6 +197,8 @@ func (s *Scheduler) Schedule(d Time, fn func()) Timer {
 // AtEvent schedules ev to fire at absolute time t, with the same clamping
 // and FIFO guarantees as At. Passing a pooled pointer implementation
 // performs no allocation.
+//
+//desalint:hotpath
 func (s *Scheduler) AtEvent(t Time, ev Event) Timer {
 	tm := s.alloc()
 	tm.ev = ev
@@ -195,6 +207,8 @@ func (s *Scheduler) AtEvent(t Time, ev Event) Timer {
 
 // ScheduleEvent schedules ev to fire after delay d from now. Negative
 // delays clamp to zero.
+//
+//desalint:hotpath
 func (s *Scheduler) ScheduleEvent(d Time, ev Event) Timer {
 	if d < 0 {
 		d = 0
@@ -207,6 +221,8 @@ func (s *Scheduler) ScheduleEvent(d Time, ev Event) Timer {
 // already canceled, or is the zero handle). The queue entry is unlinked
 // immediately — heavy cancellation (the MAC's normal operation) leaves no
 // garbage in the heap.
+//
+//desalint:hotpath
 func (s *Scheduler) Cancel(t Timer) bool {
 	tm := t.tm
 	if tm == nil || tm.gen != t.gen {
@@ -218,6 +234,8 @@ func (s *Scheduler) Cancel(t Timer) bool {
 }
 
 // Step executes the next pending event and reports whether one ran.
+//
+//desalint:hotpath
 func (s *Scheduler) Step() bool {
 	if len(s.heap) == 0 {
 		return false
@@ -241,6 +259,8 @@ func (s *Scheduler) Step() bool {
 // Run executes events until the clock would pass `until` or the queue
 // drains, and returns the number of events executed by this call. Events
 // scheduled exactly at `until` still run.
+//
+//desalint:hotpath
 func (s *Scheduler) Run(until Time) uint64 {
 	start := s.count
 	for len(s.heap) > 0 && s.heap[0].at <= until {
@@ -267,6 +287,8 @@ func (s *Scheduler) RunAll() uint64 {
 // the hot path monomorphic and allocation-free.
 
 // less orders the heap by due time, then scheduling order.
+//
+//desalint:hotpath
 func (s *Scheduler) less(a, b *timer) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -274,6 +296,7 @@ func (s *Scheduler) less(a, b *timer) bool {
 	return a.seq < b.seq
 }
 
+//desalint:hotpath
 func (s *Scheduler) siftUp(i int) {
 	h := s.heap
 	tm := h[i]
@@ -290,6 +313,7 @@ func (s *Scheduler) siftUp(i int) {
 	tm.index = int32(i)
 }
 
+//desalint:hotpath
 func (s *Scheduler) siftDown(i int) {
 	h := s.heap
 	n := len(h)
@@ -314,6 +338,8 @@ func (s *Scheduler) siftDown(i int) {
 }
 
 // popMin removes and returns the earliest timer.
+//
+//desalint:hotpath
 func (s *Scheduler) popMin() *timer {
 	h := s.heap
 	tm := h[0]
@@ -328,6 +354,8 @@ func (s *Scheduler) popMin() *timer {
 }
 
 // remove unlinks the timer at heap position i.
+//
+//desalint:hotpath
 func (s *Scheduler) remove(i int) {
 	h := s.heap
 	n := len(h) - 1

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/core"
 )
@@ -57,7 +58,15 @@ func Fig5Shape(rows []Fig5Row) error {
 	for _, r := range rows {
 		byN[r.N] = append(byN[r.N], r)
 	}
-	for n, series := range byN {
+	// Check densities in ascending order so the first reported violation
+	// is the same on every run (map iteration order is randomized).
+	ns := make([]float64, 0, len(byN))
+	for n := range byN {
+		ns = append(ns, n)
+	}
+	sort.Float64s(ns)
+	for _, n := range ns {
+		series := byN[n]
 		first := series[0]
 		if !(first.DRTSDCTS > first.DRTSOCTS && first.DRTSDCTS > first.ORTSOCTS) {
 			return fmt.Errorf("fig5 N=%v: DRTS-DCTS not best at θ=%v°", n, first.BeamwidthDeg)

@@ -114,12 +114,15 @@ func WriteFigureSVGs(create func(name string) (io.WriteCloser, error), rows []Fi
 			continue
 		}
 		seenGridN[c.N] = true
-		for name, m := range map[string]Metric{"fig6": MetricThroughput, "fig7": MetricDelay} {
-			chart, err := GridChart(cells, c.N, m)
+		for _, fig := range []struct {
+			name string
+			m    Metric
+		}{{"fig6", MetricThroughput}, {"fig7", MetricDelay}} {
+			chart, err := GridChart(cells, c.N, fig.m)
 			if err != nil {
 				return err
 			}
-			if err := writeChart(create, fmt.Sprintf("%s_n%d.svg", name, c.N), chart); err != nil {
+			if err := writeChart(create, fmt.Sprintf("%s_n%d.svg", fig.name, c.N), chart); err != nil {
 				return err
 			}
 		}

@@ -100,8 +100,9 @@ func DelayCDF(base SimConfig, schemes []core.Scheme, percentiles []float64) ([]D
 	rows := make([]DelayCDFRow, 0, len(percentiles))
 	for _, p := range percentiles {
 		row := DelayCDFRow{Percentile: p, DelayMsByScheme: map[string]float64{}}
-		for name, res := range samples {
-			row.DelayMsByScheme[name] = res.DelayPercentileSec(p) * 1000
+		// Iterate the caller's scheme order, not the sample map's.
+		for _, s := range schemes {
+			row.DelayMsByScheme[s.String()] = samples[s.String()].DelayPercentileSec(p) * 1000
 		}
 		rows = append(rows, row)
 	}

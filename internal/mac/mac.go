@@ -368,6 +368,8 @@ func (n *Node) eifs() des.Time {
 }
 
 // cancelContention stops any running DIFS/slot countdown.
+//
+//desalint:hotpath
 func (n *Node) cancelContention() {
 	n.sched.Cancel(n.difsTimer)
 	n.sched.Cancel(n.slotTimer)
@@ -377,6 +379,8 @@ func (n *Node) cancelContention() {
 // resumeDeference restarts the DIFS wait if the medium is available.
 // Invoked on carrier-idle edges, NAV/hold expiry, transmit completion and
 // contention entry.
+//
+//desalint:hotpath
 func (n *Node) resumeDeference() {
 	n.cancelContention()
 	if n.st != stContend || n.respPending || n.radio.Transmitting() {
@@ -403,6 +407,8 @@ func (n *Node) resumeDeference() {
 
 // difsElapsed runs when the medium stayed idle through DIFS/EIFS; the
 // backoff countdown begins (or the transmission, if the counter is 0).
+//
+//desalint:hotpath
 func (n *Node) difsElapsed() {
 	n.needEIFS = false
 	n.tickSlot()
@@ -410,6 +416,8 @@ func (n *Node) difsElapsed() {
 
 // tickSlot transmits when the backoff counter reaches zero, otherwise
 // burns one idle slot.
+//
+//desalint:hotpath
 func (n *Node) tickSlot() {
 	if n.st != stContend {
 		return
@@ -422,6 +430,8 @@ func (n *Node) tickSlot() {
 }
 
 // slotElapsed burns one backoff slot and re-checks the counter.
+//
+//desalint:hotpath
 func (n *Node) slotElapsed() {
 	n.backoff--
 	n.tickSlot()
@@ -690,6 +700,8 @@ func (n *Node) OnFrameError() {
 }
 
 // OnCarrierBusy freezes the backoff countdown.
+//
+//desalint:hotpath
 func (n *Node) OnCarrierBusy() {
 	if n.st == stContend {
 		n.cancelContention()
@@ -697,6 +709,8 @@ func (n *Node) OnCarrierBusy() {
 }
 
 // OnCarrierIdle resumes deference after the medium clears.
+//
+//desalint:hotpath
 func (n *Node) OnCarrierIdle() {
 	if n.st == stContend {
 		n.resumeDeference()
@@ -704,6 +718,8 @@ func (n *Node) OnCarrierIdle() {
 }
 
 // OnTxDone advances the exchange after our own frame leaves the air.
+//
+//desalint:hotpath
 func (n *Node) OnTxDone() {
 	prop := n.radio.ChannelParams().PropDelay
 	n.respPending = false

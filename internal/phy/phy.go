@@ -275,6 +275,8 @@ var ErrTxBusy = fmt.Errorf("phy: radio already transmitting")
 // frame's airtime. OnTxDone fires on the handler when the transmission
 // ends. Reception at each in-range, in-beam radio starts after the
 // propagation delay.
+//
+//desalint:hotpath
 func (r *Radio) Transmit(f Frame, m Mode) (des.Time, error) {
 	if r.transmitting {
 		return 0, ErrTxBusy
@@ -300,12 +302,16 @@ type txDoneEvent struct {
 }
 
 // Fire completes the transmission and notifies the MAC.
+//
+//desalint:hotpath
 func (e *txDoneEvent) Fire() {
 	e.r.transmitting = false
 	e.r.handler.OnTxDone()
 }
 
 // signalStart registers an arriving signal at this radio.
+//
+//desalint:hotpath
 func (r *Radio) signalStart(sig *signal) {
 	if r.transmitting {
 		sig.missed = true
@@ -334,6 +340,8 @@ func (r *Radio) signalStart(sig *signal) {
 // all other heard power is (irreversibly) damaged. Power levels are
 // constant per signal, so checking at each arrival covers all overlap
 // intervals.
+//
+//desalint:hotpath
 func (r *Radio) sinrArrival(sig *signal) {
 	p := r.ch.params
 	total := p.NoiseFloor + sig.power
@@ -351,6 +359,8 @@ func (r *Radio) sinrArrival(sig *signal) {
 }
 
 // signalEnd completes an arriving signal: deliver, report error, or drop.
+//
+//desalint:hotpath
 func (r *Radio) signalEnd(sig *signal) {
 	for i, s := range r.active {
 		if s == sig {
@@ -449,6 +459,8 @@ func (c *Channel) rebuildGrid() {
 // gather collects the IDs of every radio in the 3×3 cell block around
 // pos into the channel's scratch buffer, sorted ascending so delivery
 // order matches a full ID-order scan bit for bit.
+//
+//desalint:hotpath
 func (c *Channel) gather(pos geom.Point) []int32 {
 	if c.gridDirty {
 		c.rebuildGrid()
@@ -468,6 +480,8 @@ func (c *Channel) gather(pos geom.Point) []int32 {
 }
 
 // allocSignal takes a recycled signal or makes a new one.
+//
+//desalint:hotpath
 func (c *Channel) allocSignal(f Frame, power float64) *signal {
 	if n := len(c.freeSigs); n > 0 {
 		sig := c.freeSigs[n-1]
@@ -491,6 +505,8 @@ type sigEvent struct {
 
 // Fire dispatches the signal edge and returns the event (and, on the end
 // edge, the signal) to the channel pools.
+//
+//desalint:hotpath
 func (e *sigEvent) Fire() {
 	if e.end {
 		e.dst.signalEnd(e.sig)
@@ -504,6 +520,8 @@ func (e *sigEvent) Fire() {
 }
 
 // allocEvent takes a recycled delivery event or makes a new one.
+//
+//desalint:hotpath
 func (c *Channel) allocEvent(dst *Radio, sig *signal, end bool) *sigEvent {
 	if n := len(c.freeEvents); n > 0 {
 		e := c.freeEvents[n-1]
@@ -523,6 +541,8 @@ type navHintEvent struct {
 }
 
 // Fire hands the header to the destination's NAVHinter, if implemented.
+//
+//desalint:hotpath
 func (e *navHintEvent) Fire() {
 	if h, ok := e.dst.handler.(NAVHinter); ok {
 		h.OnNAVHint(e.frame)
@@ -533,6 +553,8 @@ func (e *navHintEvent) Fire() {
 }
 
 // allocHint takes a recycled NAV-hint event or makes a new one.
+//
+//desalint:hotpath
 func (c *Channel) allocHint(dst *Radio, f Frame) *navHintEvent {
 	if n := len(c.freeHints); n > 0 {
 		e := c.freeHints[n-1]
@@ -596,6 +618,7 @@ func (c *Channel) TxCount(ft FrameType) int64 { return c.txCount[ft] }
 // TotalTxAirtime sums TxAirtime over every frame type.
 func (c *Channel) TotalTxAirtime() des.Time {
 	var total des.Time
+	//desalint:commutative integer sum over des.Time; addition is order-independent
 	for _, t := range c.txTime {
 		total += t
 	}
@@ -624,6 +647,8 @@ func (c *Channel) Neighbors(id NodeID) []NodeID {
 // Candidates come from the spatial grid (the sender's cell block), and
 // the received-power computation is deferred until after the beam check —
 // out-of-beam neighbors never pay for a math.Pow.
+//
+//desalint:hotpath
 func (c *Channel) propagate(src *Radio, f Frame, m Mode, airtime des.Time) {
 	r2 := c.params.Range * c.params.Range
 	for _, cand := range c.gather(src.pos) {
