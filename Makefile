@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build lint lint-extra test bench bench-smoke fmt-check
+.PHONY: all build lint lint-extra test bench bench-smoke fmt-check scenarios
 
 all: build lint test
 
@@ -43,3 +43,11 @@ bench-smoke:
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Runs every checked-in scenario file end to end (shortened to keep CI
+# fast): the declarative path must stay able to execute its own goldens.
+scenarios:
+	@for f in internal/sim/testdata/*.json; do \
+		echo "== $$f"; \
+		$(GO) run ./cmd/netsim -scenario $$f || exit 1; \
+	done

@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/experiments"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -47,16 +48,51 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		what     = fs.String("run", "all", "fig5|table1|fig6|fig7|collision|fairness|all")
-		topos    = fs.Int("topologies", 50, "random topologies per simulation cell")
-		duration = fs.Duration("duration", 10*time.Second, "simulated time per run")
-		seed     = fs.Int64("seed", 1, "base random seed")
-		csv      = fs.Bool("csv", false, "also emit CSV blocks")
-		jsonOut  = fs.Bool("json", false, "also emit JSON blocks")
-		svgDir   = fs.String("svg", "", "directory to write figure SVGs into (created if missing)")
+		what         = fs.String("run", "all", "fig5|table1|fig6|fig7|collision|fairness|all")
+		topos        = fs.Int("topologies", 50, "random topologies per simulation cell")
+		duration     = fs.Duration("duration", 10*time.Second, "simulated time per run")
+		seed         = fs.Int64("seed", 1, "base random seed")
+		csv          = fs.Bool("csv", false, "also emit CSV blocks")
+		jsonOut      = fs.Bool("json", false, "also emit JSON blocks")
+		svgDir       = fs.String("svg", "", "directory to write figure SVGs into (created if missing)")
+		scenarioPath = fs.String("scenario", "", "base scenario JSON overriding -seed/-duration (and N/beamwidth where a study allows)")
+		dump         = fs.Bool("dump-scenario", false, "print the base scenario as canonical JSON and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	baseCfg := experiments.SimConfig{
+		Seed:     *seed,
+		Duration: des.Time(duration.Nanoseconds()),
+	}
+	if *scenarioPath != "" {
+		sc, err := sim.LoadScenario(*scenarioPath)
+		if err != nil {
+			return err
+		}
+		if err := sc.Validate(); err != nil {
+			return err
+		}
+		baseCfg, err = experiments.ConfigFromScenario(sc)
+		if err != nil {
+			return err
+		}
+	}
+	if *dump {
+		return sim.WriteScenario(os.Stdout, baseCfg.Scenario())
+	}
+	// Studies that fix their own density/beamwidth fill them only when
+	// the base does not supply one, so a scenario file stays in charge.
+	withDefaults := func(n int, beamDeg float64) experiments.SimConfig {
+		cfg := baseCfg
+		if cfg.N == 0 {
+			cfg.N = n
+		}
+		if cfg.BeamwidthDeg == 0 {
+			cfg.BeamwidthDeg = beamDeg
+		}
+		return cfg
 	}
 
 	var mkSVG func(name string) (io.WriteCloser, error)
@@ -109,13 +145,8 @@ func run(args []string) error {
 	}
 
 	if targets["loadsweep"] {
-		base := experiments.SimConfig{
-			Scheme:       core.ORTSOCTS, // overwritten per cell
-			N:            5,
-			BeamwidthDeg: 30,
-			Seed:         *seed,
-			Duration:     des.Time(duration.Nanoseconds()),
-		}
+		base := withDefaults(5, 30)
+		base.Scheme = core.ORTSOCTS // overwritten per cell
 		cells, err := experiments.LoadSweep(base, core.Schemes(), experiments.PaperLoads(), *topos)
 		if err != nil {
 			return err
@@ -127,11 +158,7 @@ func run(args []string) error {
 	}
 
 	if targets["reuse"] {
-		base := experiments.SimConfig{
-			Seed:     *seed,
-			Duration: des.Time(duration.Nanoseconds()),
-		}
-		cells, err := experiments.ReuseStudy(base, core.Schemes(), 8, []float64{30, 90, 150}, *topos)
+		cells, err := experiments.ReuseStudy(baseCfg, core.Schemes(), 8, []float64{30, 90, 150}, *topos)
 		if err != nil {
 			return err
 		}
@@ -142,12 +169,7 @@ func run(args []string) error {
 	}
 
 	if targets["delaycdf"] {
-		base := experiments.SimConfig{
-			N:            8,
-			BeamwidthDeg: 30,
-			Seed:         *seed,
-			Duration:     des.Time(duration.Nanoseconds()),
-		}
+		base := withDefaults(8, 30)
 		rows, err := experiments.DelayCDF(base, core.Schemes(), []float64{10, 50, 90, 95, 99})
 		if err != nil {
 			return err
@@ -159,12 +181,8 @@ func run(args []string) error {
 	}
 
 	if targets["modelvssim"] {
-		base := experiments.SimConfig{
-			Seed:     *seed,
-			Duration: des.Time(duration.Nanoseconds()),
-		}
 		ns, beams := experiments.PaperGrid()
-		rows, err := experiments.ModelVsSim(base, ns, beams, *topos)
+		rows, err := experiments.ModelVsSim(baseCfg, ns, beams, *topos)
 		if err != nil {
 			return err
 		}
@@ -175,12 +193,7 @@ func run(args []string) error {
 	}
 
 	if targets["mobility"] {
-		base := experiments.SimConfig{
-			N:            5,
-			BeamwidthDeg: 30,
-			Seed:         *seed,
-			Duration:     des.Time(duration.Nanoseconds()),
-		}
+		base := withDefaults(5, 30)
 		cells, err := experiments.MobilitySweep(base, core.Schemes(), experiments.PaperSpeeds(), *topos)
 		if err != nil {
 			return err
@@ -199,14 +212,10 @@ func run(args []string) error {
 		return nil
 	}
 
-	base := experiments.SimConfig{
-		Seed:     *seed,
-		Duration: des.Time(duration.Nanoseconds()),
-	}
 	ns, beams := experiments.PaperGrid()
 	fmt.Printf("running simulation grid: %d N × %d beamwidths × 3 schemes × %d topologies, %v each...\n\n",
-		len(ns), len(beams), *topos, base.Duration)
-	cells, err := experiments.RunGrid(base, core.Schemes(), ns, beams, *topos)
+		len(ns), len(beams), *topos, baseCfg.Duration)
+	cells, err := experiments.RunGrid(baseCfg, core.Schemes(), ns, beams, *topos)
 	if err != nil {
 		return err
 	}

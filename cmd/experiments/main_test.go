@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/sim"
 )
 
 func capture(t *testing.T, fn func() error) (string, error) {
@@ -78,5 +80,43 @@ func TestRunSmallGrid(t *testing.T) {
 func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Error("unknown flag should fail")
+	}
+	if err := run([]string{"-scenario", "/nonexistent.json"}); err == nil {
+		t.Error("missing scenario file should fail")
+	}
+}
+
+func TestDumpScenario(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-seed", "3", "-duration", "2s", "-dump-scenario"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sim.ParseScenario([]byte(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Seed != 3 || sc.Duration.String() != "2s" {
+		t.Errorf("dumped scenario seed=%d duration=%v", sc.Seed, sc.Duration)
+	}
+}
+
+// TestScenarioBaseConfig: a scenario file supplies the base config for a
+// study, overriding -seed/-duration and the study's default density.
+func TestScenarioBaseConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	spec := `{"scheme":"DRTS-DCTS","beamwidthDeg":60,"seed":5,"duration":"150ms","topology":{"n":3}}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"-run", "delaycdf", "-scenario", path, "-topologies", "1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "delay") && !strings.Contains(out, "Delay") {
+		t.Errorf("delaycdf output missing: %q", out[:min(len(out), 300)])
 	}
 }

@@ -1,12 +1,17 @@
 // Command netsim runs one simulation configuration of the 802.11
 // simulator — a single topology or a batch — and prints the measured
-// inner-node metrics.
+// inner-node metrics. A run is described either by flags or by a
+// declarative scenario file; -dump-scenario converts the former into the
+// latter, and the two paths produce identical output for equivalent
+// configurations.
 //
 // Examples:
 //
 //	netsim -scheme drts-dcts -n 8 -beam 30 -duration 5s
 //	netsim -scheme orts-octs -n 5 -topologies 20 -seed 7
 //	netsim -scheme drts-dcts -n 5 -beam 90 -hello -verbose
+//	netsim -scheme drts-dcts -n 5 -beam 60 -dump-scenario > run.json
+//	netsim -scenario run.json
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/experiments"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -31,53 +37,74 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("netsim", flag.ContinueOnError)
 	var (
-		schemeName = fs.String("scheme", "drts-dcts", "MAC scheme: ORTS-OCTS, DRTS-DCTS or DRTS-OCTS")
-		n          = fs.Int("n", 5, "density N (inner measured nodes; 9N total)")
-		beamDeg    = fs.Float64("beam", 30, "transmission beamwidth in degrees")
-		seed       = fs.Int64("seed", 1, "random seed")
-		duration   = fs.Duration("duration", 5*time.Second, "simulated time")
-		topos      = fs.Int("topologies", 1, "number of independent random topologies")
-		packet     = fs.Int("packet", 1460, "data packet size in bytes")
-		hello      = fs.Bool("hello", false, "bootstrap neighbor tables over the air (HELLO protocol)")
-		capture    = fs.Bool("capture", false, "ablation: first-signal capture at receivers")
-		oracle     = fs.Bool("oracle-nav", false, "ablation: oracle virtual carrier sensing")
-		noEIFS     = fs.Bool("no-eifs", false, "ablation: disable EIFS deference")
-		adaptive   = fs.Duration("adaptive-rts", 0, "adaptive RTS staleness threshold (0 = off)")
-		verbose    = fs.Bool("verbose", false, "print per-node stats (single-topology mode)")
-		traceN     = fs.Int("trace", 0, "print the last N protocol trace events (single-topology mode)")
+		scenarioPath = fs.String("scenario", "", "run a scenario JSON file instead of building one from flags")
+		dump         = fs.Bool("dump-scenario", false, "print the scenario as canonical JSON and exit without running")
+		schemeName   = fs.String("scheme", "drts-dcts", "MAC scheme: ORTS-OCTS, DRTS-DCTS or DRTS-OCTS")
+		n            = fs.Int("n", 5, "density N (inner measured nodes; 9N total)")
+		topoKind     = fs.String("topology", "", "topology generator kind (default rings)")
+		beamDeg      = fs.Float64("beam", 30, "transmission beamwidth in degrees")
+		seed         = fs.Int64("seed", 1, "random seed")
+		duration     = fs.Duration("duration", 5*time.Second, "simulated time")
+		topos        = fs.Int("topologies", 1, "number of independent random topologies")
+		packet       = fs.Int("packet", 1460, "data packet size in bytes")
+		hello        = fs.Bool("hello", false, "bootstrap neighbor tables over the air (HELLO protocol)")
+		capture      = fs.Bool("capture", false, "ablation: first-signal capture at receivers")
+		oracle       = fs.Bool("oracle-nav", false, "ablation: oracle virtual carrier sensing")
+		noEIFS       = fs.Bool("no-eifs", false, "ablation: disable EIFS deference")
+		adaptive     = fs.Duration("adaptive-rts", 0, "adaptive RTS staleness threshold (0 = off)")
+		verbose      = fs.Bool("verbose", false, "print per-node stats (single-topology mode)")
+		traceN       = fs.Int("trace", 0, "print the last N protocol trace events (single-topology mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	scheme, err := core.ParseScheme(*schemeName)
-	if err != nil {
-		return err
-	}
-	cfg := experiments.SimConfig{
-		Scheme:         scheme,
-		BeamwidthDeg:   *beamDeg,
-		N:              *n,
-		Seed:           *seed,
-		Duration:       des.Time(duration.Nanoseconds()),
-		PacketBytes:    *packet,
-		HelloBootstrap: *hello,
-		Capture:        *capture,
-		NAVOracle:      *oracle,
-		DisableEIFS:    *noEIFS,
-		AdaptiveRTS:    des.Time(adaptive.Nanoseconds()),
-	}
-	var rec *trace.Recorder
-	if *traceN > 0 {
-		rec = trace.NewRecorder(*traceN)
-		cfg.Tracer = rec
-	}
 
-	if *topos > 1 {
-		b, err := experiments.RunBatch(cfg, *topos)
+	var sc sim.Scenario
+	if *scenarioPath != "" {
+		var err error
+		sc, err = sim.LoadScenario(*scenarioPath)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s N=%d θ=%g° over %d topologies (%v each):\n", scheme, *n, *beamDeg, b.Runs, cfg.Duration)
+	} else {
+		scheme, err := core.ParseScheme(*schemeName)
+		if err != nil {
+			return err
+		}
+		sc = experiments.SimConfig{
+			Scheme:         scheme,
+			BeamwidthDeg:   *beamDeg,
+			N:              *n,
+			TopologyKind:   *topoKind,
+			Seed:           *seed,
+			Duration:       des.Time(duration.Nanoseconds()),
+			PacketBytes:    *packet,
+			HelloBootstrap: *hello,
+			Capture:        *capture,
+			NAVOracle:      *oracle,
+			DisableEIFS:    *noEIFS,
+			AdaptiveRTS:    des.Time(adaptive.Nanoseconds()),
+		}.Scenario()
+	}
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	scheme, err := sc.ResolvedScheme()
+	if err != nil {
+		return err
+	}
+	if *dump {
+		return sim.WriteScenario(os.Stdout, sc)
+	}
+	dur := des.Time(sc.Duration)
+
+	if *topos > 1 {
+		results, err := (sim.Runner{}).Run(sc, *topos)
+		if err != nil {
+			return err
+		}
+		b := experiments.AggregateBatch(results)
+		fmt.Printf("%s N=%d θ=%g° over %d topologies (%v each):\n", scheme, sc.Topology.N, sc.BeamwidthDeg, b.Runs, dur)
 		fmt.Printf("  throughput  %s Kb/s per inner node\n", b.ThroughputBps.Scale(1e-3))
 		fmt.Printf("  delay       %s ms\n", b.DelaySec.Scale(1e3))
 		fmt.Printf("  collisions  %s\n", b.CollisionRatio)
@@ -85,11 +112,17 @@ func run(args []string) error {
 		return nil
 	}
 
-	res, err := experiments.RunSim(cfg)
+	var opts sim.Options
+	var rec *trace.Recorder
+	if *traceN > 0 {
+		rec = trace.NewRecorder(*traceN)
+		opts.Tracer = rec
+	}
+	res, err := sim.RunScenario(sc, opts)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s N=%d θ=%g° seed=%d (%v):\n", scheme, *n, *beamDeg, *seed, cfg.Duration)
+	fmt.Printf("%s N=%d θ=%g° seed=%d (%v):\n", scheme, sc.Topology.N, sc.BeamwidthDeg, sc.Seed, dur)
 	fmt.Printf("  mean inner throughput  %.1f Kb/s\n", res.MeanThroughputBps()/1000)
 	fmt.Printf("  mean delay             %.2f ms\n", res.MeanDelaySec()*1000)
 	fmt.Printf("  mean collision ratio   %.3f\n", res.MeanCollisionRatio())

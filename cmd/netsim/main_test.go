@@ -2,8 +2,11 @@ package main
 
 import (
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/sim"
 )
 
 func capture(t *testing.T, fn func() error) (string, error) {
@@ -62,6 +65,85 @@ func TestRunVerboseAndTrace(t *testing.T) {
 	}
 	if !strings.Contains(out, "trace events:") {
 		t.Error("trace section missing")
+	}
+}
+
+// TestScenarioMatchesFlags pins the acceptance contract of the scenario
+// path: dumping a flag configuration to a scenario file and running the
+// file must produce byte-identical output to the flag invocation.
+func TestScenarioMatchesFlags(t *testing.T) {
+	configs := [][]string{
+		{"-scheme", "orts-octs", "-n", "3", "-duration", "200ms", "-seed", "4"},
+		{"-scheme", "drts-dcts", "-n", "3", "-beam", "90", "-duration", "150ms", "-seed", "2"},
+		{"-scheme", "drts-octs", "-n", "3", "-beam", "60", "-duration", "150ms", "-no-eifs", "-capture"},
+		{"-scheme", "drts-dcts", "-n", "3", "-beam", "45", "-duration", "100ms", "-topologies", "2"},
+	}
+	for _, flags := range configs {
+		t.Run(strings.Join(flags, " "), func(t *testing.T) {
+			viaFlags, err := capture(t, func() error { return run(flags) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			dump, err := capture(t, func() error { return run(append(append([]string{}, flags...), "-dump-scenario")) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(t.TempDir(), "scenario.json")
+			if err := os.WriteFile(path, []byte(dump), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			scenarioArgs := []string{"-scenario", path}
+			for i, f := range flags {
+				if f == "-topologies" {
+					scenarioArgs = append(scenarioArgs, "-topologies", flags[i+1])
+				}
+			}
+			viaScenario, err := capture(t, func() error { return run(scenarioArgs) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if viaFlags != viaScenario {
+				t.Errorf("scenario output differs from flag output\n--- flags ---\n%s--- scenario ---\n%s", viaFlags, viaScenario)
+			}
+		})
+	}
+}
+
+// TestDumpScenarioCanonical: -dump-scenario output must already be in
+// the canonical MarshalScenario form (parse → re-marshal is a no-op).
+func TestDumpScenarioCanonical(t *testing.T) {
+	dump, err := capture(t, func() error {
+		return run([]string{"-scheme", "drts-dcts", "-n", "4", "-beam", "60", "-dump-scenario"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sim.ParseScenario([]byte(dump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.MarshalScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump != string(out) {
+		t.Errorf("dump is not canonical:\n%s\nvs\n%s", dump, out)
+	}
+}
+
+func TestRunBadScenarioFile(t *testing.T) {
+	if err := run([]string{"-scenario", "/nonexistent/run.json"}); err == nil {
+		t.Error("missing scenario file should fail")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"scheme":"DRTS-DCTS","seeed":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", path}); err == nil {
+		t.Error("scenario with unknown field should fail")
 	}
 }
 

@@ -1,10 +1,13 @@
-// Command topogen generates the paper's concentric-ring topologies and
-// emits them as JSON (one document per topology), for inspection or for
-// feeding external tools.
+// Command topogen generates node placements — the paper's concentric-ring
+// topologies or any other registered generator — and emits them as JSON
+// (one document per topology), for inspection or for feeding external
+// tools.
 //
-// Example:
+// Examples:
 //
 //	topogen -n 5 -count 3 -seed 42 | jq '.positions | length'
+//	topogen -kind grid -n 6 -stats
+//	topogen -scenario run.json -svg
 package main
 
 import (
@@ -15,7 +18,7 @@ import (
 	"os"
 
 	"repro/internal/plot"
-	"repro/internal/topology"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -28,19 +31,34 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
 	var (
-		n     = fs.Int("n", 5, "density N (inner nodes; 9N total)")
-		count = fs.Int("count", 1, "number of topologies to generate")
-		seed  = fs.Int64("seed", 1, "random seed")
-		stats = fs.Bool("stats", false, "print degree statistics instead of JSON")
-		svg   = fs.Bool("svg", false, "emit an SVG rendering instead of JSON")
+		n            = fs.Int("n", 5, "density N (inner nodes; 9N total)")
+		kind         = fs.String("kind", "", "topology generator kind (default rings)")
+		count        = fs.Int("count", 1, "number of topologies to generate")
+		seed         = fs.Int64("seed", 1, "random seed")
+		scenarioPath = fs.String("scenario", "", "take the topology section and seed from a scenario JSON file")
+		stats        = fs.Bool("stats", false, "print degree statistics instead of JSON")
+		svg          = fs.Bool("svg", false, "emit an SVG rendering instead of JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(*seed))
+	sc := sim.Scenario{Topology: sim.TopologySpec{Kind: *kind, N: *n}}
+	topoSeed := *seed
+	if *scenarioPath != "" {
+		loaded, err := sim.LoadScenario(*scenarioPath)
+		if err != nil {
+			return err
+		}
+		if err := loaded.Validate(); err != nil {
+			return err
+		}
+		sc = loaded
+		topoSeed = loaded.Seed
+	}
+	rng := rand.New(rand.NewSource(topoSeed))
 	enc := json.NewEncoder(os.Stdout)
 	for i := 0; i < *count; i++ {
-		topo, err := topology.Generate(rng, topology.DefaultConfig(*n))
+		topo, err := sim.GenerateTopology(rng, sc)
 		if err != nil {
 			return err
 		}

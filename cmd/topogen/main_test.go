@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -86,5 +87,50 @@ func TestRunSVG(t *testing.T) {
 func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-n", "x"}); err == nil {
 		t.Error("bad -n should fail")
+	}
+	if err := run([]string{"-kind", "hexgrid"}); err == nil {
+		t.Error("unknown generator kind should fail")
+	}
+	if err := run([]string{"-scenario", "/nonexistent.json"}); err == nil {
+		t.Error("missing scenario file should fail")
+	}
+}
+
+func TestRunGridKind(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-kind", "grid", "-n", "6"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var topo topology.Topology
+	if err := json.Unmarshal([]byte(out), &topo); err != nil {
+		t.Fatal(err)
+	}
+	if topo.N != 6 || len(topo.Positions) < 6 {
+		t.Errorf("grid topology: N=%d, %d positions", topo.N, len(topo.Positions))
+	}
+}
+
+func TestRunFromScenario(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sc.json")
+	spec := `{"scheme":"DRTS-DCTS","beamwidthDeg":60,"seed":9,"duration":"100ms","topology":{"n":3}}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromScenario, err := capture(t, func() error {
+		return run([]string{"-scenario", path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFlags, err := capture(t, func() error {
+		return run([]string{"-n", "3", "-seed", "9"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromScenario != fromFlags {
+		t.Error("scenario topology differs from the equivalent flag invocation")
 	}
 }

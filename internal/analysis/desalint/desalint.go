@@ -42,6 +42,7 @@ var SimPackages = []string{
 	"repro/internal/traffic",
 	"repro/internal/mobility",
 	"repro/internal/experiments",
+	"repro/internal/sim",
 }
 
 // IsSimPackage reports whether path falls under the simulation subtree.

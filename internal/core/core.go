@@ -76,9 +76,15 @@ func AllSchemes() []Scheme {
 }
 
 // ParseScheme converts a scheme name ("ORTS-OCTS", "drts-dcts",
-// "DRTSOCTS", ...) to its Scheme value. Case and dashes are ignored.
+// "DRTSOCTS", "drts/octs", " ORTS_OCTS ", ...) to its Scheme value.
+// Case is ignored, surrounding whitespace is trimmed, and the
+// separators "-", "_", "/" and " " are interchangeable (including
+// absent) — every spelling the docs and CLI flags use parses.
 func ParseScheme(s string) (Scheme, error) {
-	norm := strings.ToUpper(strings.ReplaceAll(strings.ReplaceAll(s, "-", ""), "_", ""))
+	norm := strings.ToUpper(strings.TrimSpace(s))
+	for _, sep := range []string{"-", "_", "/", " "} {
+		norm = strings.ReplaceAll(norm, sep, "")
+	}
 	switch norm {
 	case "ORTSOCTS":
 		return ORTSOCTS, nil
@@ -89,7 +95,7 @@ func ParseScheme(s string) (Scheme, error) {
 	case "ORTSDCTS":
 		return ORTSDCTS, nil
 	default:
-		return 0, fmt.Errorf("core: unknown scheme %q (want ORTS-OCTS, DRTS-DCTS or DRTS-OCTS)", s)
+		return 0, fmt.Errorf("core: unknown scheme %q (want ORTS-OCTS, DRTS-DCTS, DRTS-OCTS or ORTS-DCTS)", s)
 	}
 }
 

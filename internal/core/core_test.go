@@ -391,8 +391,22 @@ func TestParseScheme(t *testing.T) {
 		{"DRTSDCTS", DRTSDCTS, false},
 		{"drts_octs", DRTSOCTS, false},
 		{"DRTS-DCTS", DRTSDCTS, false},
+		// Mixed case, mixed separators, surrounding whitespace: the
+		// spellings the docs and CLI flags actually use.
+		{"Orts-Octs", ORTSOCTS, false},
+		{"drtsdcts", DRTSDCTS, false},
+		{"DRTS_DCTS", DRTSDCTS, false},
+		{"drts/octs", DRTSOCTS, false},
+		{"DRTS OCTS", DRTSOCTS, false},
+		{" orts-dcts ", ORTSDCTS, false},
+		{"\tORTS_OCTS\n", ORTSOCTS, false},
+		{"orts_dcts", ORTSDCTS, false},
+		{"o-r-t-s_o_c_t_s", ORTSOCTS, false},
 		{"bogus", 0, true},
 		{"", 0, true},
+		{"   ", 0, true},
+		{"ORTS", 0, true},
+		{"ORTS-OCTS-EXTRA", 0, true},
 	}
 	for _, tt := range tests {
 		got, err := ParseScheme(tt.in)

@@ -3,25 +3,23 @@
 // curves, the simulated throughput (Fig. 6) and delay (Fig. 7)
 // comparisons, and the collision-ratio and fairness statistics that the
 // paper describes but omits for space.
+//
+// Assembly itself lives in internal/sim: SimConfig is the stable typed
+// front door, converted to a declarative sim.Scenario and executed by
+// sim.Build/sim.Runner. The two descriptions are interchangeable —
+// SimConfig.Scenario and ConfigFromScenario round-trip — so flag-driven
+// tools and scenario files share one code path.
 package experiments
 
 import (
 	"fmt"
-	"math"
-	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/des"
-	"repro/internal/mac"
-	"repro/internal/mobility"
-	"repro/internal/neighbor"
-	"repro/internal/phy"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/trace"
-	"repro/internal/traffic"
 )
 
 // SimConfig describes one simulation run.
@@ -40,8 +38,12 @@ type SimConfig struct {
 	Duration des.Time
 	// PacketBytes is the data payload size (defaults to 1460).
 	PacketBytes int
+	// TopologyKind selects a registered sim topology generator (empty
+	// means "rings", the paper's constrained placement). Ignored when
+	// Topology supplies an explicit placement.
+	TopologyKind string
 	// Topology optionally supplies a pre-generated placement; when nil a
-	// fresh constrained ring topology is drawn from the seed.
+	// fresh topology is drawn from the seed.
 	Topology *topology.Topology
 	// HelloBootstrap populates neighbor tables with the over-the-air
 	// HELLO protocol instead of ground truth.
@@ -99,218 +101,96 @@ func (c SimConfig) Validate() error {
 	return nil
 }
 
-// SimResult holds the per-run metrics for the measured inner nodes.
-type SimResult struct {
-	// ThroughputBps is each inner node's acknowledged goodput in bits/s.
-	ThroughputBps []float64
-	// DelaySec is each inner node's mean MAC service delay in seconds
-	// (NaN markers are excluded: nodes that delivered nothing carry 0).
-	DelaySec []float64
-	// CollisionRatio is each inner node's ACK-timeout fraction of
-	// data-phase handshakes.
-	CollisionRatio []float64
-	// Jain is the fairness index over the inner nodes' throughput.
-	Jain float64
-	// DelaySamplesSec holds a uniform sample of per-packet service delays
-	// of the inner nodes (populated when SimConfig.SampleDelays is set).
-	DelaySamplesSec []float64
-	// SpatialReuse is the network's concurrency factor: total transmit
-	// airtime across all nodes divided by elapsed time. Values above 1
-	// mean simultaneous transmissions coexisted — the reuse the paper's
-	// directional schemes are built to unlock.
-	SpatialReuse float64
-	// AirtimeShare breaks the on-air time down by frame type (fractions
-	// of TotalTxAirtime).
-	AirtimeShare map[string]float64
-	// NodeStats are the raw MAC counters for every node (all rings).
-	NodeStats []mac.Stats
+// SimResult holds the per-run metrics for the measured inner nodes; it is
+// internal/sim's Result under the package's historical name.
+type SimResult = sim.Result
+
+// Scenario converts the config to its declarative equivalent. The
+// mapping is exact: running the returned scenario reproduces RunSim(c)
+// bit for bit (the kernel-determinism goldens pin this).
+func (c SimConfig) Scenario() sim.Scenario {
+	sc := sim.Scenario{
+		Scheme:       c.Scheme.String(),
+		BeamwidthDeg: c.BeamwidthDeg,
+		Seed:         c.Seed,
+		Duration:     sim.Duration(c.Duration),
+		Topology:     sim.TopologySpec{Kind: c.TopologyKind, N: c.N},
+		Traffic:      sim.TrafficSpec{PacketBytes: c.PacketBytes},
+		PHY:          sim.PHYSpec{Capture: c.Capture, NAVOracle: c.NAVOracle, SINR: c.SINR},
+		Ablations: sim.AblationSpec{
+			DisableEIFS:    c.DisableEIFS,
+			BasicAccess:    c.BasicAccess,
+			HelloBootstrap: c.HelloBootstrap,
+			AdaptiveRTS:    sim.Duration(c.AdaptiveRTS),
+		},
+		SampleDelays: c.SampleDelays,
+	}
+	if c.OfferedLoadBps > 0 {
+		sc.Traffic.Kind = "cbr"
+		sc.Traffic.OfferedLoadBps = c.OfferedLoadBps
+	}
+	if c.MaxSpeed > 0 {
+		sc.Mobility.Kind = "waypoint"
+		sc.Mobility.MaxSpeed = c.MaxSpeed
+		sc.Mobility.RefreshInterval = sim.Duration(c.RefreshInterval)
+	}
+	return sc
 }
 
-// MeanThroughputBps returns the average inner-node goodput.
-func (r *SimResult) MeanThroughputBps() float64 { return mean(r.ThroughputBps) }
-
-// MeanDelaySec returns the average inner-node service delay over nodes
-// that delivered at least one packet.
-func (r *SimResult) MeanDelaySec() float64 {
-	var sum float64
-	var n int
-	for i, d := range r.DelaySec {
-		if r.NodeStats[i].DelayCount > 0 {
-			sum += d
-			n++
-		}
+// ConfigFromScenario maps a declarative scenario back onto a SimConfig.
+// It errors on specs only internal/sim can express (explicit positions,
+// silent traffic, trace sinks), so callers never silently run a
+// different experiment than the file describes.
+func ConfigFromScenario(sc sim.Scenario) (SimConfig, error) {
+	scheme, err := sc.ResolvedScheme()
+	if err != nil {
+		return SimConfig{}, err
 	}
-	if n == 0 {
-		return 0
+	cfg := SimConfig{
+		Scheme:         scheme,
+		BeamwidthDeg:   sc.BeamwidthDeg,
+		N:              sc.Topology.N,
+		Seed:           sc.Seed,
+		Duration:       des.Time(sc.Duration),
+		PacketBytes:    sc.Traffic.PacketBytes,
+		TopologyKind:   sc.Topology.Kind,
+		HelloBootstrap: sc.Ablations.HelloBootstrap,
+		Capture:        sc.PHY.Capture,
+		NAVOracle:      sc.PHY.NAVOracle,
+		DisableEIFS:    sc.Ablations.DisableEIFS,
+		BasicAccess:    sc.Ablations.BasicAccess,
+		SampleDelays:   sc.SampleDelays,
+		AdaptiveRTS:    des.Time(sc.Ablations.AdaptiveRTS),
+		SINR:           sc.PHY.SINR,
 	}
-	return sum / float64(n)
-}
-
-// MeanCollisionRatio returns the average inner-node collision ratio.
-func (r *SimResult) MeanCollisionRatio() float64 { return mean(r.CollisionRatio) }
-
-func mean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
+	switch sc.Traffic.Kind {
+	case "", "saturated":
+	case "cbr":
+		cfg.OfferedLoadBps = sc.Traffic.OfferedLoadBps
+	default:
+		return SimConfig{}, fmt.Errorf("experiments: traffic kind %q has no SimConfig equivalent", sc.Traffic.Kind)
 	}
-	var sum float64
-	for _, x := range xs {
-		sum += x
+	if sc.Mobility.Kind == "waypoint" {
+		cfg.MaxSpeed = sc.Mobility.MaxSpeed
+		cfg.RefreshInterval = des.Time(sc.Mobility.RefreshInterval)
 	}
-	return sum / float64(len(xs))
+	if len(sc.Topology.Positions) > 0 {
+		return SimConfig{}, fmt.Errorf("experiments: explicit topology positions have no SimConfig equivalent")
+	}
+	if sc.Trace.Kind != "" && sc.Trace.Kind != "none" {
+		return SimConfig{}, fmt.Errorf("experiments: trace sink %q has no SimConfig equivalent", sc.Trace.Kind)
+	}
+	return cfg, nil
 }
 
 // RunSim executes one complete simulation: topology, PHY, neighbor
-// bootstrap, MAC per node, saturated CBR traffic, and metric collection
-// on the inner N nodes.
+// bootstrap, MAC per node, traffic, and metric collection on the inner N
+// nodes. It is a thin wrapper over sim.Build + Run.
 func RunSim(cfg SimConfig) (*SimResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.PacketBytes == 0 {
-		cfg.PacketBytes = traffic.PaperPacketBytes
-	}
-	topo := cfg.Topology
-	if topo == nil {
-		var err error
-		topo, err = topology.Generate(rand.New(rand.NewSource(cfg.Seed)), topology.DefaultConfig(cfg.N))
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %w", err)
-		}
-	}
-
-	sched := des.New(cfg.Seed ^ 0x5eed)
-	phyParams := phy.DefaultParams()
-	phyParams.Range = topo.Radius
-	phyParams.Capture = cfg.Capture
-	phyParams.NAVOracle = cfg.NAVOracle
-	if cfg.SINR {
-		phyParams.SINRThreshold = 10
-		phyParams.PathLoss = 2
-		phyParams.NoiseFloor = 0.001
-	}
-	ch, err := phy.NewChannel(sched, phyParams)
-	if err != nil {
-		return nil, err
-	}
-	for _, pos := range topo.Positions {
-		ch.AddRadio(pos, nil)
-	}
-
-	var tables []*neighbor.Table
-	if cfg.HelloBootstrap {
-		tables, err = neighbor.Bootstrap(sched, ch, neighbor.DefaultHelloConfig())
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		tables = neighbor.GroundTruth(ch)
-	}
-
-	macCfg := mac.DefaultConfig(cfg.Scheme, cfg.BeamwidthDeg*math.Pi/180)
-	macCfg.DisableEIFS = cfg.DisableEIFS
-	macCfg.Tracer = cfg.Tracer
-	macCfg.BasicAccess = cfg.BasicAccess
-	if cfg.AdaptiveRTS > 0 {
-		macCfg.AdaptiveRTSStaleness = cfg.AdaptiveRTS
-		macCfg.PiggybackLocation = true
-	}
-	var delayRes *stats.Reservoir
-	if cfg.SampleDelays {
-		delayRes = stats.NewReservoir(4096, sched.Rand())
-	}
-	nodes := make([]*mac.Node, ch.NumRadios())
-	var cbrs []*traffic.CBR
-	for i := 0; i < ch.NumRadios(); i++ {
-		id := phy.NodeID(i)
-		var src mac.Source = traffic.Empty{}
-		var cbr *traffic.CBR
-		if nbs := ch.Neighbors(id); len(nbs) > 0 {
-			if cfg.OfferedLoadBps > 0 {
-				interval := des.Time(float64(cfg.PacketBytes*8) / cfg.OfferedLoadBps * float64(des.Second))
-				cbr, err = traffic.NewCBR(sched, sched.Rand(), nbs, traffic.CBRConfig{
-					Interval: interval, Bytes: cfg.PacketBytes, QueueCap: 64,
-				})
-				if err != nil {
-					return nil, err
-				}
-				src = cbr
-				cbrs = append(cbrs, cbr)
-			} else {
-				src, err = traffic.NewSaturated(sched.Rand(), nbs, cfg.PacketBytes)
-				if err != nil {
-					return nil, err
-				}
-			}
-		}
-		nodeCfg := macCfg
-		if delayRes != nil && i < topo.InnerCount() {
-			nodeCfg.OnDelivery = func(d des.Time) { delayRes.Add(d.Seconds()) }
-		}
-		nodes[i], err = mac.New(sched, ch.Radio(id), tables[i], src, nodeCfg)
-		if err != nil {
-			return nil, err
-		}
-		if cbr != nil {
-			cbr.SetKick(nodes[i].Kick)
-		}
-	}
-	for _, n := range nodes {
-		n.Start()
-	}
-	for _, c := range cbrs {
-		c.Start()
-	}
-	if cfg.MaxSpeed > 0 {
-		mob, err := mobility.New(sched, ch, mobility.DefaultConfig(cfg.MaxSpeed))
-		if err != nil {
-			return nil, err
-		}
-		mob.Start()
-		refresh := cfg.RefreshInterval
-		if refresh <= 0 {
-			refresh = des.Second
-		}
-		if _, err := neighbor.PeriodicRefresh(sched, ch, tables, refresh); err != nil {
-			return nil, err
-		}
-	}
-	start := sched.Now() // after any bootstrap
-	sched.Run(start + cfg.Duration)
-
-	res := &SimResult{
-		ThroughputBps:  make([]float64, topo.InnerCount()),
-		DelaySec:       make([]float64, topo.InnerCount()),
-		CollisionRatio: make([]float64, topo.InnerCount()),
-		NodeStats:      make([]mac.Stats, len(nodes)),
-	}
-	for i, n := range nodes {
-		res.NodeStats[i] = n.Stats()
-	}
-	for i := 0; i < topo.InnerCount(); i++ {
-		st := res.NodeStats[i]
-		res.ThroughputBps[i] = float64(st.BitsAcked) / cfg.Duration.Seconds()
-		res.DelaySec[i] = st.AvgDelay().Seconds()
-		res.CollisionRatio[i] = st.CollisionRatio()
-	}
-	res.Jain = stats.JainIndex(res.ThroughputBps)
-	res.SpatialReuse = ch.TotalTxAirtime().Seconds() / cfg.Duration.Seconds()
-	if total := ch.TotalTxAirtime(); total > 0 {
-		res.AirtimeShare = make(map[string]float64, 4)
-		for _, ft := range []phy.FrameType{phy.RTS, phy.CTS, phy.Data, phy.ACK} {
-			res.AirtimeShare[ft.String()] = ch.TxAirtime(ft).Seconds() / total.Seconds()
-		}
-	}
-	if delayRes != nil {
-		res.DelaySamplesSec = delayRes.Sample()
-	}
-	return res, nil
-}
-
-// DelayPercentileSec returns the p-th percentile of the sampled
-// per-packet delays (0 without SampleDelays).
-func (r *SimResult) DelayPercentileSec(p float64) float64 {
-	return stats.Percentile(r.DelaySamplesSec, p)
+	return sim.RunScenario(cfg.Scenario(), sim.Options{Topology: cfg.Topology, Tracer: cfg.Tracer})
 }
 
 // BatchResult aggregates one (scheme, N, beamwidth) cell over many random
@@ -328,47 +208,9 @@ type BatchResult struct {
 	Runs int
 }
 
-// RunBatch runs cfg over `topologies` independent random topologies
-// (seeds cfg.Seed, cfg.Seed+1, ...), in parallel across CPUs, and
-// aggregates the per-topology means.
-func RunBatch(cfg SimConfig, topologies int) (*BatchResult, error) {
-	if topologies < 1 {
-		return nil, fmt.Errorf("experiments: need at least one topology, got %d", topologies)
-	}
-	results := make([]*SimResult, topologies)
-	errs := make([]error, topologies)
-	// A fixed-size worker pool pulling indices from a channel: launching
-	// one goroutine per topology up front would allocate stacks for a
-	// whole sweep (hundreds of cells × topologies) that mostly sit parked
-	// on a semaphore.
-	workers := runtime.GOMAXPROCS(0)
-	if workers > topologies {
-		workers = topologies
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				c := cfg
-				c.Seed = cfg.Seed + int64(i)
-				c.Topology = nil
-				results[i], errs[i] = RunSim(c)
-			}
-		}()
-	}
-	for i := 0; i < topologies; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
+// AggregateBatch folds per-shard results (in shard order) into the
+// paper's mean + range presentation.
+func AggregateBatch(results []*SimResult) *BatchResult {
 	var out BatchResult
 	var th, dl, cr, jn stats.Stream
 	for _, r := range results {
@@ -381,8 +223,28 @@ func RunBatch(cfg SimConfig, topologies int) (*BatchResult, error) {
 	out.DelaySec = dl.Summarize()
 	out.CollisionRatio = cr.Summarize()
 	out.Jain = jn.Summarize()
-	out.Runs = topologies
-	return &out, nil
+	out.Runs = len(results)
+	return &out
+}
+
+// RunBatch runs cfg over `topologies` independent random topologies
+// (seeds cfg.Seed, cfg.Seed+1, ...) on sim.Runner's bounded worker pool
+// and aggregates the per-topology means. Errors are deterministic: the
+// lowest-indexed failing shard decides the returned error regardless of
+// goroutine scheduling.
+func RunBatch(cfg SimConfig, topologies int) (*BatchResult, error) {
+	if topologies < 1 {
+		return nil, fmt.Errorf("experiments: need at least one topology, got %d", topologies)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	runner := sim.Runner{Options: sim.Options{Tracer: cfg.Tracer}}
+	results, err := runner.Run(cfg.Scenario(), topologies)
+	if err != nil {
+		return nil, err
+	}
+	return AggregateBatch(results), nil
 }
 
 // GridCell is one point of the paper's Fig. 6/7 sweep.

@@ -12,37 +12,24 @@ import (
 	"repro/internal/des"
 	"repro/internal/geom"
 	"repro/internal/mac"
-	"repro/internal/neighbor"
 	"repro/internal/phy"
+	"repro/internal/sim/simtest"
 	"repro/internal/trace"
-	"repro/internal/traffic"
 )
 
 // tracedPair builds a 2-node network with a recorder and one packet.
-func tracedPair(t *testing.T) (*des.Scheduler, *trace.Recorder, mac.Config) {
+func tracedPair(t *testing.T) (*simtest.Net, *trace.Recorder, mac.Config) {
 	t.Helper()
 	cfg := mac.DefaultConfig(core.ORTSOCTS, 0)
 	rec := trace.NewRecorder(64)
 	cfg.Tracer = rec
-	sched := des.New(5)
-	ch, err := phy.NewChannel(sched, phy.DefaultParams())
-	if err != nil {
-		t.Fatal(err)
-	}
-	ch.AddRadio(geom.Point{X: 0, Y: 0}, silent{})
-	ch.AddRadio(geom.Point{X: 0.5, Y: 0}, silent{})
-	tables := neighbor.GroundTruth(ch)
-	src := &oneShot{pkts: []mac.Packet{{Dst: 1, Bytes: 1460}}}
-	sender, err := mac.New(sched, ch.Radio(0), tables[0], src, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := mac.New(sched, ch.Radio(1), tables[1], &oneShot{}, cfg); err != nil {
-		t.Fatal(err)
-	}
-	sender.Start()
-	sched.Run(des.Second)
-	return sched, rec, cfg
+	nw := simtest.Build(t, 5, cfg, []simtest.NodeSpec{
+		{Pos: geom.Point{X: 0, Y: 0}, Source: simtest.Packets(mac.Packet{Dst: 1, Bytes: 1460})},
+		{Pos: geom.Point{X: 0.5, Y: 0}, Source: simtest.Responder()},
+	})
+	nw.Start(0)
+	nw.Run(des.Second)
+	return nw, rec, cfg
 }
 
 // eventAt finds the first event of the given node/kind/frame.
@@ -113,35 +100,20 @@ func TestNAVDeferenceWindow(t *testing.T) {
 	cfg := mac.DefaultConfig(core.ORTSOCTS, 0)
 	rec := trace.NewRecorder(512)
 	cfg.Tracer = rec
-	sched := des.New(8)
-	ch, err := phy.NewChannel(sched, phy.DefaultParams())
-	if err != nil {
-		t.Fatal(err)
-	}
 	// A at origin, B in range of A only, C in range of A only (C hears
 	// A's RTS but not B's CTS).
-	ch.AddRadio(geom.Point{X: 0, Y: 0}, silent{})    // A
-	ch.AddRadio(geom.Point{X: 0.9, Y: 0}, silent{})  // B
-	ch.AddRadio(geom.Point{X: -0.9, Y: 0}, silent{}) // C (2.0 > 1 from B? no: 1.8 > 1 ✓)
-	tables := neighbor.GroundTruth(ch)
-	srcA := &oneShot{pkts: []mac.Packet{{Dst: 1, Bytes: 1460}}}
-	a, err := mac.New(sched, ch.Radio(0), tables[0], srcA, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := mac.New(sched, ch.Radio(1), tables[1], &oneShot{}, cfg); err != nil {
-		t.Fatal(err)
-	}
-	// C wants to send to A, starting only after it overheard A's RTS.
-	srcC := &oneShot{pkts: []mac.Packet{{Dst: 0, Bytes: 1460}}}
-	c, err := mac.New(sched, ch.Radio(2), tables[2], srcC, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	nw := simtest.Build(t, 8, cfg, []simtest.NodeSpec{
+		{Pos: geom.Point{X: 0, Y: 0}, // A
+			Source: simtest.Packets(mac.Packet{Dst: 1, Bytes: 1460})},
+		{Pos: geom.Point{X: 0.9, Y: 0}, Source: simtest.Responder()}, // B
+		{Pos: geom.Point{X: -0.9, Y: 0}, // C wants to send to A
+			Source: simtest.Packets(mac.Packet{Dst: 0, Bytes: 1460})},
+	})
+	a, c := nw.Nodes[0], nw.Nodes[2]
 	a.Start()
 	// Hold C until just after A's RTS is on the air, then let it contend.
-	sched.Schedule(time400, func() { c.Start() })
-	sched.Run(des.Second)
+	nw.Sched.Schedule(time400, func() { c.Start() })
+	nw.Run(des.Second)
 
 	rtsA := eventAt(t, rec, 0, trace.TxStart, phy.RTS)
 	over := eventAt(t, rec, 2, trace.Overheard, phy.RTS)
@@ -171,40 +143,21 @@ func TestConservationInvariants(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		nNodes := 3 + rng.Intn(5)
-		positions := make([]geom.Point, nNodes)
-		for i := range positions {
-			positions[i] = geom.Point{X: rng.Float64() * 1.4, Y: rng.Float64() * 1.4}
+		specs := make([]simtest.NodeSpec, nNodes)
+		for i := range specs {
+			specs[i] = simtest.NodeSpec{
+				Pos:    geom.Point{X: rng.Float64() * 1.4, Y: rng.Float64() * 1.4},
+				Source: simtest.SaturatedNeighbors(1460),
+			}
 		}
 		cfg := mac.DefaultConfig(core.DRTSOCTS, 1.2)
-		sched := des.New(seed)
-		ch, err := phy.NewChannel(sched, phy.DefaultParams())
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, pos := range positions {
-			ch.AddRadio(pos, silent{})
-		}
-		tables := neighbor.GroundTruth(ch)
-		nodes := make([]*mac.Node, nNodes)
-		for i := 0; i < nNodes; i++ {
-			var src mac.Source = traffic.Empty{}
-			if nbs := ch.Neighbors(phy.NodeID(i)); len(nbs) > 0 {
-				src, err = traffic.NewSaturated(sched.Rand(), nbs, 1460)
-				if err != nil {
-					t.Fatal(err)
-				}
-			}
-			nodes[i], err = mac.New(sched, ch.Radio(phy.NodeID(i)), tables[i], src, cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			nodes[i].Start()
-		}
-		sched.Run(2 * des.Second)
+		nw := simtest.Build(t, seed, cfg, specs)
+		nw.StartAll()
+		nw.Run(2 * des.Second)
 
 		var sumSucc, sumACKSent, sumDeliver, sumDataSent int64
-		for i, n := range nodes {
-			st := n.Stats()
+		for i := range nw.Nodes {
+			st := nw.Stats(i)
 			if st.BitsAcked != st.Successes*1460*8 {
 				t.Errorf("seed %d node %d: BitsAcked %d != Successes %d × payload", seed, i, st.BitsAcked, st.Successes)
 			}
@@ -245,31 +198,14 @@ func TestBackoffFreezeResume(t *testing.T) {
 	cfg := mac.DefaultConfig(core.ORTSOCTS, 0)
 	rec := trace.NewRecorder(1024)
 	cfg.Tracer = rec
-	sched := des.New(12)
-	ch, err := phy.NewChannel(sched, phy.DefaultParams())
-	if err != nil {
-		t.Fatal(err)
-	}
 	// Two saturated contenders in range of each other plus a shared sink.
-	ch.AddRadio(geom.Point{X: 0, Y: 0}, silent{})
-	ch.AddRadio(geom.Point{X: 0.4, Y: 0}, silent{})
-	ch.AddRadio(geom.Point{X: 0.2, Y: 0.3}, silent{})
-	tables := neighbor.GroundTruth(ch)
-	for i := 0; i < 2; i++ {
-		src, err := traffic.NewSaturated(sched.Rand(), []phy.NodeID{2}, 1460)
-		if err != nil {
-			t.Fatal(err)
-		}
-		n, err := mac.New(sched, ch.Radio(phy.NodeID(i)), tables[i], src, cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		n.Start()
-	}
-	if _, err := mac.New(sched, ch.Radio(2), tables[2], &oneShot{}, cfg); err != nil {
-		t.Fatal(err)
-	}
-	sched.Run(3 * des.Second)
+	nw := simtest.Build(t, 12, cfg, []simtest.NodeSpec{
+		{Pos: geom.Point{X: 0, Y: 0}, Source: simtest.SaturatedBytes(1460, 2)},
+		{Pos: geom.Point{X: 0.4, Y: 0}, Source: simtest.SaturatedBytes(1460, 2)},
+		{Pos: geom.Point{X: 0.2, Y: 0.3}, Source: simtest.Responder()},
+	})
+	nw.Start(0, 1)
+	nw.Run(3 * des.Second)
 
 	// Reconstruct busy intervals (any node transmitting) from tx events
 	// and frame sizes; every RTS start must fall outside every other
@@ -315,42 +251,17 @@ func TestEIFSAfterCollision(t *testing.T) {
 		cfg.DisableEIFS = disableEIFS
 		rec := trace.NewRecorder(4096)
 		cfg.Tracer = rec
-		sched := des.New(21)
-		ch, err := phy.NewChannel(sched, phy.DefaultParams())
-		if err != nil {
-			t.Fatal(err)
-		}
 		// Two hidden senders collide at the middle node; a fourth node
 		// (observer, in range of the middle) sees the damage and defers.
-		ch.AddRadio(geom.Point{X: -0.9, Y: 0}, silent{})
-		ch.AddRadio(geom.Point{X: 0.9, Y: 0}, silent{})
-		ch.AddRadio(geom.Point{X: 0, Y: 0}, silent{})
-		ch.AddRadio(geom.Point{X: 0, Y: 0.3}, silent{}) // in range of both senders
-		tables := neighbor.GroundTruth(ch)
-		for i := 0; i < 2; i++ {
-			src, err := traffic.NewSaturated(sched.Rand(), []phy.NodeID{2}, 1460)
-			if err != nil {
-				t.Fatal(err)
-			}
-			n, err := mac.New(sched, ch.Radio(phy.NodeID(i)), tables[i], src, cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			n.Start()
-		}
-		if _, err := mac.New(sched, ch.Radio(2), tables[2], &oneShot{}, cfg); err != nil {
-			t.Fatal(err)
-		}
-		srcD, err := traffic.NewSaturated(sched.Rand(), []phy.NodeID{2}, 1460)
-		if err != nil {
-			t.Fatal(err)
-		}
-		observer, err := mac.New(sched, ch.Radio(3), tables[3], srcD, cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		observer.Start()
-		sched.Run(5 * des.Second)
+		nw := simtest.Build(t, 21, cfg, []simtest.NodeSpec{
+			{Pos: geom.Point{X: -0.9, Y: 0}, Source: simtest.SaturatedBytes(1460, 2)},
+			{Pos: geom.Point{X: 0.9, Y: 0}, Source: simtest.SaturatedBytes(1460, 2)},
+			{Pos: geom.Point{X: 0, Y: 0}, Source: simtest.Responder()},
+			{Pos: geom.Point{X: 0, Y: 0.3}, // observer, in range of both senders
+				Source: simtest.SaturatedBytes(1460, 2)},
+		})
+		nw.Start(0, 1, 3)
+		nw.Run(5 * des.Second)
 
 		var errAt des.Time = -1
 		for _, ev := range rec.Events() {

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/trace"
+)
+
+// TestRunScenarioDeterministic is the package-local determinism check:
+// building and running the same scenario twice must agree on every field,
+// including the float bit patterns (reflect.DeepEqual compares exactly).
+func TestRunScenarioDeterministic(t *testing.T) {
+	sc := quickScenario()
+	sc.SampleDelays = true
+	a, err := RunScenario(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("identical scenarios produced different results")
+	}
+	if len(a.ThroughputBps) != sc.Topology.N {
+		t.Errorf("got %d inner-node throughputs, want %d", len(a.ThroughputBps), sc.Topology.N)
+	}
+	if a.MeanThroughputBps() <= 0 {
+		t.Error("saturated scenario moved no traffic")
+	}
+}
+
+func TestBuildRecorderFromScenario(t *testing.T) {
+	sc := quickScenario()
+	sc.Trace = TraceSpec{Kind: "recorder", Capacity: 256}
+	s, err := Build(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Recorder == nil {
+		t.Fatal("scenario asked for a recorder but Sim.Recorder is nil")
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Recorder.Events()) == 0 {
+		t.Error("recorder captured no protocol events")
+	}
+}
+
+func TestBuildTracerOptionOverridesScenario(t *testing.T) {
+	sc := quickScenario()
+	sc.Trace = TraceSpec{Kind: "recorder"}
+	rec := trace.NewRecorder(64)
+	s, err := Build(sc, Options{Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Recorder != nil {
+		t.Error("Options.Tracer should suppress the scenario's recorder")
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events()) == 0 {
+		t.Error("override tracer saw no events")
+	}
+}
+
+func TestBuildCBRScenario(t *testing.T) {
+	sc := quickScenario()
+	sc.Traffic = TrafficSpec{Kind: "cbr", OfferedLoadBps: 500e3}
+	sc.Duration = Duration(200 * 1e6)
+	res, err := RunScenario(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanThroughputBps() <= 0 {
+		t.Error("cbr scenario moved no traffic")
+	}
+}
+
+func TestBuildMobilityScenario(t *testing.T) {
+	sc := quickScenario()
+	sc.Mobility = MobilitySpec{Kind: "waypoint", MaxSpeed: 2, RefreshInterval: Duration(100 * des.Millisecond)}
+	a, err := RunScenario(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("mobility scenario is not deterministic")
+	}
+}
+
+func TestBuildNoneTrafficIsSilent(t *testing.T) {
+	sc := quickScenario()
+	sc.Traffic = TrafficSpec{Kind: "none"}
+	res, err := RunScenario(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.MeanThroughputBps(); got != 0 {
+		t.Errorf("silent network carried %v bps", got)
+	}
+	for i, st := range res.NodeStats {
+		if st.DataSent > 0 {
+			t.Errorf("node %d transmitted %d data frames with no sources", i, st.DataSent)
+		}
+	}
+}
+
+func TestBuildProvidedTopology(t *testing.T) {
+	sc := quickScenario()
+	topo, err := GenerateTopology(rand.New(rand.NewSource(sc.Seed)), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaOpts, err := RunScenario(sc, Options{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSpec, err := RunScenario(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaOpts, viaSpec) {
+		t.Error("Options.Topology with the canonical placement diverged from the in-Build draw")
+	}
+	if len(viaOpts.NodeStats) != len(topo.Positions) {
+		t.Errorf("stats for %d nodes, topology has %d", len(viaOpts.NodeStats), len(topo.Positions))
+	}
+}

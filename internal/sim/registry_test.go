@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+func TestResolveScheme(t *testing.T) {
+	tests := []struct {
+		in   string
+		want core.Scheme
+	}{
+		{"ORTS-OCTS", core.ORTSOCTS},
+		{"orts_octs", core.ORTSOCTS},
+		{"omni", core.ORTSOCTS},
+		{"OMNI", core.ORTSOCTS},
+		{"directional", core.DRTSDCTS},
+		{"DRTS-DCTS", core.DRTSDCTS},
+		{"drts octs", core.DRTSOCTS},
+		{"Orts/Dcts", core.ORTSDCTS},
+	}
+	for _, tt := range tests {
+		got, err := ResolveScheme(tt.in)
+		if err != nil {
+			t.Errorf("ResolveScheme(%q): %v", tt.in, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ResolveScheme(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+	if _, err := ResolveScheme("sector"); err == nil {
+		t.Error("want error for unregistered scheme name")
+	}
+}
+
+func TestKindListingsSorted(t *testing.T) {
+	for name, kinds := range map[string][]string{
+		"topology": TopologyKinds(),
+		"traffic":  TrafficKinds(),
+	} {
+		if len(kinds) == 0 {
+			t.Errorf("%s registry is empty", name)
+		}
+		if !sort.StringsAreSorted(kinds) {
+			t.Errorf("%s kinds not sorted: %v", name, kinds)
+		}
+	}
+	wantTopo := []string{"explicit", "grid", "rings", "uniform"}
+	gotTopo := TopologyKinds()
+	for _, w := range wantTopo {
+		if i := sort.SearchStrings(gotTopo, w); i >= len(gotTopo) || gotTopo[i] != w {
+			t.Errorf("topology kind %q not registered (have %v)", w, gotTopo)
+		}
+	}
+	wantTraffic := []string{"cbr", "none", "saturated"}
+	gotTraffic := TrafficKinds()
+	for _, w := range wantTraffic {
+		if i := sort.SearchStrings(gotTraffic, w); i >= len(gotTraffic) || gotTraffic[i] != w {
+			t.Errorf("traffic kind %q not registered (have %v)", w, gotTraffic)
+		}
+	}
+}
+
+func TestRegisterPanicsOnDuplicate(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("dup topology", func() { RegisterTopology("rings", buildRings) })
+	mustPanic("empty topology kind", func() { RegisterTopology("", buildRings) })
+	mustPanic("dup traffic", func() { RegisterTraffic("saturated", buildSaturated) })
+	mustPanic("dup scheme alias", func() { RegisterScheme("omni", core.ORTSOCTS) })
+	mustPanic("alias collides across spellings", func() { RegisterScheme("OM-NI", core.ORTSOCTS) })
+}
+
+func TestGenerateTopologyDeterministic(t *testing.T) {
+	for _, kind := range []string{"rings", "grid", "uniform"} {
+		sc := Scenario{Topology: TopologySpec{Kind: kind, N: 4}}
+		a, err := GenerateTopology(rand.New(rand.NewSource(42)), sc)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		b, err := GenerateTopology(rand.New(rand.NewSource(42)), sc)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !reflect.DeepEqual(a.Positions, b.Positions) {
+			t.Errorf("%s: same seed produced different placements", kind)
+		}
+		if len(a.Positions) < sc.Topology.N {
+			t.Errorf("%s: %d positions for n=%d", kind, len(a.Positions), sc.Topology.N)
+		}
+	}
+}
+
+func TestExplicitTopologyCopiesPositions(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 0.5, Y: 0}, {X: 0, Y: 0.5}}
+	sc := Scenario{Topology: TopologySpec{Kind: "explicit", N: 2, Positions: pts}}
+	topo, err := GenerateTopology(rand.New(rand.NewSource(1)), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(topo.Positions, pts) {
+		t.Fatalf("explicit positions not preserved: %v", topo.Positions)
+	}
+	topo.Positions[0].X = 99
+	if pts[0].X == 99 {
+		t.Error("explicit builder aliases the scenario's position slice")
+	}
+	if topo.N != 2 || topo.Radius != 1.0 || topo.Rings != 3 {
+		t.Errorf("defaults not resolved: N=%d R=%v rings=%d", topo.N, topo.Radius, topo.Rings)
+	}
+}
+
+func TestGridTopologyInsideOut(t *testing.T) {
+	sc := Scenario{Topology: TopologySpec{Kind: "grid", N: 9}}
+	topo, err := GenerateTopology(rand.New(rand.NewSource(1)), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := geom.Point{}
+	for i := 1; i < len(topo.Positions); i++ {
+		if topo.Positions[i].Dist2(origin) < topo.Positions[i-1].Dist2(origin) {
+			t.Fatalf("positions not ordered inside-out at %d", i)
+		}
+	}
+	bound := float64(topo.Rings) * topo.Radius
+	for i, p := range topo.Positions {
+		if p.Dist(origin) > bound+1e-9 {
+			t.Errorf("position %d outside the %v-radius field: %v", i, bound, p)
+		}
+	}
+}
+
+func TestUniformTopologyNodeBudget(t *testing.T) {
+	sc := Scenario{Topology: TopologySpec{Kind: "uniform", N: 5}}
+	topo, err := GenerateTopology(rand.New(rand.NewSource(7)), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * 3 * 5; len(topo.Positions) != want {
+		t.Errorf("uniform field has %d nodes, want rings²·n = %d", len(topo.Positions), want)
+	}
+}
