@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build lint lint-extra test bench bench-smoke fmt-check scenarios
+.PHONY: all build lint lint-extra test bench bench-smoke bench-compare fmt-check scenarios sweep-cached
 
 all: build lint test
 
@@ -39,7 +39,24 @@ bench:
 # One iteration each: catches compile errors and panics in the
 # benchmark harness without turning CI into a perf run.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkScheduler$$|BenchmarkChannelBroadcast$$' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkScheduler$$|BenchmarkChannelBroadcast$$|BenchmarkScenarioCache' -benchtime 1x -benchmem .
+
+# Regression gate against the committed baseline. A short time-based
+# benchtime keeps the gate fast while giving the nanosecond benches
+# enough iterations to be stable; the generous threshold means only
+# real regressions trip it, not shared-runner noise. Tighten locally
+# for perf work.
+bench-compare:
+	$(GO) run ./cmd/bench -benchtime 0.3s -o /dev/null -compare BENCH_after.json -max-regress 100
+
+# The incremental-sweep loop: the same reduced fig6 sweep twice through
+# one content-addressed cache. The second pass must be served entirely
+# from disk (the stats line on stderr shows hits) and print identical
+# tables.
+sweep-cached:
+	rm -rf .sweep-cache
+	$(GO) run ./cmd/experiments -run fig6 -topologies 5 -duration 1s -cache .sweep-cache -cache-stats
+	$(GO) run ./cmd/experiments -run fig6 -topologies 5 -duration 1s -cache .sweep-cache -cache-stats
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -14,6 +14,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/experiments"
@@ -356,6 +357,49 @@ func BenchmarkAnalyticalThroughput(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkScenarioCache measures the content-addressed result cache
+// around one simulated half-second: "cold" pays the full run plus the
+// store write (every iteration uses a fresh seed, so every lookup
+// misses), "warm" replays one cached scenario and must be orders of
+// magnitude cheaper.
+func BenchmarkScenarioCache(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		store, err := cache.NewStore(b.TempDir(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := benchSim(core.DRTSDCTS, 5, 90)
+			cfg.Seed = int64(i + 1) // unique key per iteration: all misses
+			cfg.Cache = store
+			if _, err := experiments.RunSim(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		store, err := cache.NewStore(b.TempDir(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := benchSim(core.DRTSDCTS, 5, 90)
+		cfg.Cache = store
+		if _, err := experiments.RunSim(cfg); err != nil { // populate
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.RunSim(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if st := store.Stats(); st.Misses != 1 {
+			b.Fatalf("warm loop missed the cache (%+v)", st)
+		}
+	})
 }
 
 // BenchmarkSimulationSecond measures the wall cost of one simulated

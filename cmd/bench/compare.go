@@ -1,0 +1,146 @@
+package main
+
+// Regression gating: compare a fresh benchmark run against a committed
+// baseline artifact and fail (non-zero exit) when a hot-path metric
+// regressed beyond the allowed percentage. This is what lets CI hold the
+// performance line instead of relying on reviewers eyeballing numbers.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Comparison is the verdict for one benchmark present in both reports.
+type Comparison struct {
+	// Name is the benchmark name (CPU suffix stripped, so baselines
+	// survive a core-count change).
+	Name string
+	// BaseNs/CurNs are the mean ns_per_op of all matching result lines.
+	BaseNs, CurNs float64
+	// NsDeltaPct is the relative change in percent (positive = slower).
+	NsDeltaPct float64
+	// BaseAllocs/CurAllocs are the mean allocs_per_op (-1 when absent).
+	BaseAllocs, CurAllocs float64
+	// AllocsDeltaPct is the relative change in percent (positive = more
+	// allocations); 0 when either side lacks the column.
+	AllocsDeltaPct float64
+	// Regressed marks a delta beyond the allowed threshold.
+	Regressed bool
+}
+
+// stripCPUSuffix removes the "-8"-style GOMAXPROCS suffix go test
+// appends to benchmark names.
+func stripCPUSuffix(name string) string {
+	for i := len(name) - 1; i > 0; i-- {
+		c := name[i]
+		if c >= '0' && c <= '9' {
+			continue
+		}
+		if c == '-' && i < len(name)-1 {
+			return name[:i]
+		}
+		break
+	}
+	return name
+}
+
+// meanByName folds repeated result lines (-count > 1) into per-name
+// means of ns/op and allocs/op.
+func meanByName(results []Result) map[string]Result {
+	sums := make(map[string]*Result)
+	counts := make(map[string]int)
+	for _, r := range results {
+		name := stripCPUSuffix(r.Name)
+		agg, ok := sums[name]
+		if !ok {
+			agg = &Result{Name: name}
+			sums[name] = agg
+		}
+		agg.NsPerOp += r.NsPerOp
+		agg.AllocsPerOp += r.AllocsPerOp
+		counts[name]++
+	}
+	out := make(map[string]Result, len(sums))
+	for name, agg := range sums { //desalint:commutative — per-key division; order-independent
+		n := float64(counts[name])
+		out[name] = Result{Name: name, NsPerOp: agg.NsPerOp / n, AllocsPerOp: agg.AllocsPerOp / n}
+	}
+	return out
+}
+
+// CompareReports matches benchmarks by name and flags any whose ns/op or
+// allocs/op grew more than maxRegressPct percent over the baseline.
+// Benchmarks present in only one report are ignored — a baseline from
+// before a benchmark existed must not block its introduction.
+func CompareReports(baseline, current Report, maxRegressPct float64) []Comparison {
+	base := meanByName(baseline.Results)
+	cur := meanByName(current.Results)
+	names := make([]string, 0, len(base))
+	for name := range base { //desalint:commutative — collected for sorting below
+		if _, ok := cur[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	pct := func(baseV, curV float64) float64 {
+		if baseV <= 0 {
+			return 0
+		}
+		return (curV - baseV) / baseV * 100
+	}
+	var out []Comparison
+	for _, name := range names {
+		b, c := base[name], cur[name]
+		cmp := Comparison{
+			Name:       name,
+			BaseNs:     b.NsPerOp,
+			CurNs:      c.NsPerOp,
+			NsDeltaPct: pct(b.NsPerOp, c.NsPerOp),
+			BaseAllocs: b.AllocsPerOp,
+			CurAllocs:  c.AllocsPerOp,
+		}
+		if b.AllocsPerOp >= 0 && c.AllocsPerOp >= 0 {
+			cmp.AllocsDeltaPct = pct(b.AllocsPerOp, c.AllocsPerOp)
+		}
+		cmp.Regressed = cmp.NsDeltaPct > maxRegressPct || cmp.AllocsDeltaPct > maxRegressPct
+		out = append(out, cmp)
+	}
+	return out
+}
+
+// WriteComparison renders the verdict table and returns the number of
+// regressed benchmarks.
+func WriteComparison(w io.Writer, cmps []Comparison, maxRegressPct float64) int {
+	regressed := 0
+	fmt.Fprintf(w, "%-40s %14s %14s %8s %10s\n", "benchmark", "base ns/op", "cur ns/op", "Δns%", "Δallocs%")
+	for _, c := range cmps {
+		mark := "  "
+		if c.Regressed {
+			mark = "!!"
+			regressed++
+		}
+		fmt.Fprintf(w, "%-40s %14.1f %14.1f %+7.1f%% %+9.1f%% %s\n",
+			c.Name, c.BaseNs, c.CurNs, c.NsDeltaPct, c.AllocsDeltaPct, mark)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) regressed beyond %.1f%%\n", regressed, maxRegressPct)
+	}
+	return regressed
+}
+
+// LoadReport reads a bench JSON artifact.
+func LoadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return r, nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(results ...Result) Report {
+	return Report{Results: results}
+}
+
+func TestStripCPUSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkScheduler-8":        "BenchmarkScheduler",
+		"BenchmarkScheduler-16":       "BenchmarkScheduler",
+		"BenchmarkScheduler":          "BenchmarkScheduler",
+		"BenchmarkScenarioCache/warm": "BenchmarkScenarioCache/warm",
+		"BenchmarkFig5-4":             "BenchmarkFig5",
+	}
+	for in, want := range cases {
+		if got := stripCPUSuffix(in); got != want {
+			t.Errorf("stripCPUSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompareReportsFlagsRegression(t *testing.T) {
+	base := report(
+		Result{Name: "BenchmarkA-8", NsPerOp: 100, AllocsPerOp: 10},
+		Result{Name: "BenchmarkB-8", NsPerOp: 200, AllocsPerOp: 0},
+	)
+	cur := report(
+		Result{Name: "BenchmarkA-16", NsPerOp: 125, AllocsPerOp: 10}, // +25% ns: regressed
+		Result{Name: "BenchmarkB-16", NsPerOp: 190, AllocsPerOp: 0},  // improved
+	)
+	cmps := CompareReports(base, cur, 10)
+	if len(cmps) != 2 {
+		t.Fatalf("got %d comparisons, want 2", len(cmps))
+	}
+	if !cmps[0].Regressed {
+		t.Errorf("BenchmarkA (+25%% ns) not flagged: %+v", cmps[0])
+	}
+	if cmps[1].Regressed {
+		t.Errorf("BenchmarkB (improved) flagged: %+v", cmps[1])
+	}
+}
+
+func TestCompareReportsAllocRegression(t *testing.T) {
+	base := report(Result{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 100})
+	cur := report(Result{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 150})
+	cmps := CompareReports(base, cur, 10)
+	if len(cmps) != 1 || !cmps[0].Regressed {
+		t.Fatalf("+50%% allocs at flat ns not flagged: %+v", cmps)
+	}
+}
+
+func TestCompareReportsMeansRepeatedLines(t *testing.T) {
+	base := report(
+		Result{Name: "BenchmarkA", NsPerOp: 90, AllocsPerOp: 1},
+		Result{Name: "BenchmarkA", NsPerOp: 110, AllocsPerOp: 1},
+	)
+	cur := report(Result{Name: "BenchmarkA", NsPerOp: 105, AllocsPerOp: 1})
+	cmps := CompareReports(base, cur, 10)
+	if len(cmps) != 1 {
+		t.Fatalf("got %d comparisons, want 1", len(cmps))
+	}
+	if cmps[0].BaseNs != 100 {
+		t.Errorf("baseline mean = %v, want 100", cmps[0].BaseNs)
+	}
+	if cmps[0].Regressed {
+		t.Errorf("+5%% over the count-2 mean flagged at a 10%% threshold")
+	}
+}
+
+func TestCompareReportsIgnoresUnmatched(t *testing.T) {
+	base := report(Result{Name: "BenchmarkOld", NsPerOp: 100, AllocsPerOp: 1})
+	cur := report(Result{Name: "BenchmarkNew", NsPerOp: 999, AllocsPerOp: 99})
+	if cmps := CompareReports(base, cur, 10); len(cmps) != 0 {
+		t.Fatalf("unmatched benchmarks compared: %+v", cmps)
+	}
+}
+
+func TestWriteComparisonCountsAndRenders(t *testing.T) {
+	cmps := []Comparison{
+		{Name: "BenchmarkA", BaseNs: 100, CurNs: 130, NsDeltaPct: 30, Regressed: true},
+		{Name: "BenchmarkB", BaseNs: 100, CurNs: 90, NsDeltaPct: -10},
+	}
+	var sb strings.Builder
+	if n := WriteComparison(&sb, cmps, 10); n != 1 {
+		t.Errorf("regressed count = %d, want 1", n)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "BenchmarkA") || !strings.Contains(out, "!!") {
+		t.Errorf("regression marker missing from output:\n%s", out)
+	}
+}
+
+func TestLoadReportRejectsGarbage(t *testing.T) {
+	if _, err := LoadReport("/nonexistent/report.json"); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -12,6 +12,9 @@
 //	bench                              # hot-path set -> BENCH_<today>.json
 //	bench -bench 'Fig6' -o fig6.json   # any benchmark regexp
 //	bench -count 5 -benchtime 2x -o -  # repeat runs, write to stdout
+//	bench -compare BENCH_after.json    # gate: non-zero exit if ns/op or
+//	                                   # allocs/op regressed >10% (set
+//	                                   # -max-regress to tune)
 package main
 
 import (
@@ -25,8 +28,9 @@ import (
 )
 
 // hotPathBenchmarks is the default set: the event-kernel and channel
-// micro-benches plus the end-to-end cost of one simulated second.
-const hotPathBenchmarks = "^(BenchmarkScheduler|BenchmarkChannelBroadcast|BenchmarkSimulationSecond)$"
+// micro-benches, the end-to-end cost of one simulated second, the
+// analytical Fig. 5 sweep, and the result cache cold/warm pair.
+const hotPathBenchmarks = "^(BenchmarkScheduler|BenchmarkChannelBroadcast|BenchmarkSimulationSecond|BenchmarkFig5|BenchmarkScenarioCache)$"
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -76,6 +80,8 @@ func run(args []string, stdout *os.File) error {
 		count     = fs.Int("count", 1, "go test -count value")
 		pkg       = fs.String("pkg", "repro", "package pattern holding the benchmarks")
 		out       = fs.String("o", "", `output path ("-" for stdout; default BENCH_<date>.json)`)
+		compare   = fs.String("compare", "", "baseline bench JSON to gate against; exit non-zero on regression")
+		maxRegr   = fs.Float64("max-regress", 10, "allowed ns/op and allocs/op growth over the baseline, in percent")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,5 +133,22 @@ func run(args []string, stdout *os.File) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(report)
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	if *compare != "" {
+		baseline, err := LoadReport(*compare)
+		if err != nil {
+			return err
+		}
+		cmps := CompareReports(baseline, report, *maxRegr)
+		if len(cmps) == 0 {
+			return fmt.Errorf("no benchmarks in common with baseline %s", *compare)
+		}
+		if n := WriteComparison(os.Stderr, cmps, *maxRegr); n > 0 {
+			return fmt.Errorf("%d benchmark(s) regressed beyond %.1f%% of %s", n, *maxRegr, *compare)
+		}
+		fmt.Fprintf(os.Stderr, "bench: no regressions beyond %.1f%% of %s\n", *maxRegr, *compare)
+	}
+	return nil
 }

@@ -32,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/experiments"
@@ -57,9 +58,14 @@ func run(args []string) error {
 		svgDir       = fs.String("svg", "", "directory to write figure SVGs into (created if missing)")
 		scenarioPath = fs.String("scenario", "", "base scenario JSON overriding -seed/-duration (and N/beamwidth where a study allows)")
 		dump         = fs.Bool("dump-scenario", false, "print the base scenario as canonical JSON and exit")
+		cacheDir     = fs.String("cache", "", "directory for the content-addressed result cache (repeat sweeps are served from it)")
+		cacheStats   = fs.Bool("cache-stats", false, "print cache hit/miss/eviction counters on exit (requires -cache)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cacheStats && *cacheDir == "" {
+		return fmt.Errorf("-cache-stats requires -cache DIR")
 	}
 
 	baseCfg := experiments.SimConfig{
@@ -77,6 +83,20 @@ func run(args []string) error {
 		baseCfg, err = experiments.ConfigFromScenario(sc)
 		if err != nil {
 			return err
+		}
+	}
+	if *cacheDir != "" {
+		store, err := cache.NewStore(*cacheDir, 0)
+		if err != nil {
+			return err
+		}
+		baseCfg.Cache = store
+		if *cacheStats {
+			defer func() {
+				st := store.Stats()
+				fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d evictions (%s)\n",
+					st.Hits, st.Misses, st.Evictions, store.Dir())
+			}()
 		}
 	}
 	if *dump {

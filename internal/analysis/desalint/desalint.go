@@ -43,6 +43,7 @@ var SimPackages = []string{
 	"repro/internal/mobility",
 	"repro/internal/experiments",
 	"repro/internal/sim",
+	"repro/internal/cache",
 }
 
 // IsSimPackage reports whether path falls under the simulation subtree.

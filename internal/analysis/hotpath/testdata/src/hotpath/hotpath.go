@@ -54,3 +54,60 @@ func coldPath(x int) func() int {
 	_ = map[int]int{x: x}
 	return func() int { return x }
 }
+
+// workspace models the tabulate-once / evaluate-many pattern of the
+// memoized analytical engine: coefficient tables filled at construction,
+// then a hot evaluation that only indexes into them.
+type workspace struct {
+	pref []float64
+	rate []float64
+}
+
+// newWorkspace is cold (construction): allocating the tables here is
+// fine and must not be flagged.
+func newWorkspace(n int) *workspace {
+	w := &workspace{
+		pref: make([]float64, n),
+		rate: make([]float64, n),
+	}
+	for i := range w.pref {
+		w.pref[i] = float64(i)
+	}
+	return w
+}
+
+// goodEvaluate is the hot half of the workspace pattern: pure reads of
+// the prebuilt tables plus scalar arithmetic — allocation-free by
+// construction, so nothing may be flagged.
+//
+//desalint:hotpath
+func (w *workspace) goodEvaluate(s float64) float64 {
+	var sum float64
+	for i, r := range w.rate {
+		sum += w.pref[i] * (s + r)
+	}
+	return sum
+}
+
+// badEvaluate rebuilds its table inside the marked hot function —
+// exactly the per-call allocation the workspace pattern exists to hoist
+// out, so the analyzer must flag it.
+//
+//desalint:hotpath
+func (w *workspace) badEvaluate(s float64) float64 {
+	tmp := []float64{s}                          // want `slice literal allocates`
+	f := func() float64 { return s + w.rate[0] } // want `closure captures s, w`
+	return tmp[0] + f()
+}
+
+// goodTabulateInto reuses a caller-owned buffer: append into a slice
+// that arrives with capacity is the sanctioned refill idiom.
+//
+//desalint:hotpath
+func (w *workspace) goodTabulateInto(buf []float64) []float64 {
+	buf = buf[:0]
+	for _, r := range w.rate {
+		buf = append(buf, r)
+	}
+	return buf
+}

@@ -1,0 +1,255 @@
+// Package cache implements a content-addressed on-disk result store for
+// incremental experiment sweeps. Entries are keyed by the SHA-256 of
+// their inputs (canonical scenario bytes, engine fingerprint, run
+// options), so a cache hit is by construction the result of the exact
+// same computation: determinism of the simulation kernel makes the
+// stored bytes bit-identical to what a fresh run would produce.
+//
+// The store is corruption-tolerant — a truncated, tampered-with or
+// unreadable entry is reported as a miss, never as an error — and
+// writes are atomic (temp file + rename), so concurrent readers and
+// writers on the same directory are safe. A bounded in-memory LRU layer
+// fronts the disk store; recency is tracked with a logical counter, not
+// wall-clock time, keeping the package compatible with the repository's
+// determinism lints.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Key is the content address of a cache entry: a SHA-256 digest over the
+// entry's full input description.
+type Key [sha256.Size]byte
+
+// String returns the hexadecimal form of the key, used as its file name.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// KeyBuilder accumulates the input components of a content address.
+// Components are length-prefixed before hashing so that concatenation
+// ambiguity cannot alias two distinct input sets to one key.
+type KeyBuilder struct {
+	h hash.Hash
+}
+
+// NewKeyBuilder returns an empty builder.
+func NewKeyBuilder() *KeyBuilder {
+	return &KeyBuilder{h: sha256.New()}
+}
+
+// Write adds one labeled component. The label separates the key's
+// namespaces (e.g. "scenario", "engine", "options").
+func (b *KeyBuilder) Write(label string, data []byte) *KeyBuilder {
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(label)))
+	b.h.Write(n[:])
+	io.WriteString(b.h, label)
+	binary.BigEndian.PutUint64(n[:], uint64(len(data)))
+	b.h.Write(n[:])
+	b.h.Write(data)
+	return b
+}
+
+// Key finalizes the digest.
+func (b *KeyBuilder) Key() Key {
+	var k Key
+	copy(k[:], b.h.Sum(nil))
+	return k
+}
+
+// Stats are monotonic operation counters for one Store.
+type Stats struct {
+	Hits      uint64 // Get found a valid entry (memory or disk)
+	Misses    uint64 // Get found nothing, or only a corrupt entry
+	Evictions uint64 // memory-layer entries displaced by the LRU bound
+}
+
+// entryMagic guards the on-disk format: magic, then the SHA-256 of the
+// payload, then the payload itself. A reader verifies the checksum
+// before returning bytes, so torn or tampered files surface as misses.
+var entryMagic = []byte("DACHE1\n")
+
+// DefaultMemoryEntries is the LRU bound used when NewStore is given a
+// non-positive limit.
+const DefaultMemoryEntries = 256
+
+// Store is a content-addressed cache: a directory of checksum-framed
+// entry files fronted by a bounded in-memory LRU map. The zero value is
+// not usable; construct with NewStore. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex
+	mem      map[Key]*memEntry
+	maxMem   int
+	tick     uint64 // logical clock for LRU recency (no wall time)
+	hits     uint64
+	misses   uint64
+	evicts   uint64
+	writeSeq uint64 // distinguishes temp files of concurrent writers
+}
+
+type memEntry struct {
+	data []byte
+	last uint64 // tick of most recent touch
+}
+
+// NewStore opens (creating if needed) the cache directory dir. maxMemory
+// bounds the in-memory entry count; non-positive selects
+// DefaultMemoryEntries.
+func NewStore(dir string, maxMemory int) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("cache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: create dir: %w", err)
+	}
+	if maxMemory <= 0 {
+		maxMemory = DefaultMemoryEntries
+	}
+	return &Store{
+		dir:    dir,
+		mem:    make(map[Key]*memEntry, maxMemory),
+		maxMem: maxMemory,
+	}, nil
+}
+
+// Dir returns the backing directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path returns the entry file for key k.
+func (s *Store) path(k Key) string {
+	return filepath.Join(s.dir, k.String()+".entry")
+}
+
+// Get returns the payload stored under k and whether it was found. Any
+// form of entry damage — missing file, short file, bad magic, checksum
+// mismatch — is a miss; Get never fails. The returned slice is the
+// caller's to keep.
+func (s *Store) Get(k Key) ([]byte, bool) {
+	s.mu.Lock()
+	if e, ok := s.mem[k]; ok {
+		s.tick++
+		e.last = s.tick
+		s.hits++
+		out := append([]byte(nil), e.data...)
+		s.mu.Unlock()
+		return out, true
+	}
+	s.mu.Unlock()
+
+	data, ok := readEntry(s.path(k))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.insertLocked(k, data)
+	return append([]byte(nil), data...), true
+}
+
+// Put stores payload under k: first durably on disk via an atomic
+// rename, then in the memory layer. The payload is copied.
+func (s *Store) Put(k Key, payload []byte) error {
+	s.mu.Lock()
+	s.writeSeq++
+	seq := s.writeSeq
+	s.mu.Unlock()
+
+	if err := writeEntry(s.path(k), seq, payload); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.insertLocked(k, append([]byte(nil), payload...))
+	return nil
+}
+
+// insertLocked adds (or refreshes) a memory-layer entry, evicting the
+// least recently used entry when over the bound. Caller holds s.mu.
+func (s *Store) insertLocked(k Key, data []byte) {
+	s.tick++
+	if e, ok := s.mem[k]; ok {
+		e.data = data
+		e.last = s.tick
+		return
+	}
+	if len(s.mem) >= s.maxMem {
+		var victim Key
+		oldest := uint64(0)
+		first := true
+		for key, e := range s.mem { //desalint:commutative — min-scan; result independent of iteration order
+			if first || e.last < oldest {
+				victim, oldest, first = key, e.last, false
+			}
+		}
+		delete(s.mem, victim)
+		s.evicts++
+	}
+	s.mem[k] = &memEntry{data: data, last: s.tick}
+}
+
+// Stats returns a snapshot of the operation counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Hits: s.hits, Misses: s.misses, Evictions: s.evicts}
+}
+
+// readEntry loads and verifies one entry file. Every failure mode maps
+// to ok=false.
+func readEntry(path string) ([]byte, bool) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	header := len(entryMagic) + sha256.Size
+	if len(raw) < header {
+		return nil, false
+	}
+	for i, c := range entryMagic {
+		if raw[i] != c {
+			return nil, false
+		}
+	}
+	var want [sha256.Size]byte
+	copy(want[:], raw[len(entryMagic):header])
+	payload := raw[header:]
+	if sha256.Sum256(payload) != want {
+		return nil, false
+	}
+	return payload, true
+}
+
+// writeEntry atomically writes one checksum-framed entry file: the bytes
+// land under a unique temp name in the same directory, then rename
+// replaces the target in one step so readers never observe a torn file.
+func writeEntry(path string, seq uint64, payload []byte) error {
+	sum := sha256.Sum256(payload)
+	buf := make([]byte, 0, len(entryMagic)+len(sum)+len(payload))
+	buf = append(buf, entryMagic...)
+	buf = append(buf, sum[:]...)
+	buf = append(buf, payload...)
+
+	tmp := fmt.Sprintf("%s.tmp.%d.%d", path, os.Getpid(), seq)
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("cache: write temp: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cache: commit entry: %w", err)
+	}
+	return nil
+}

@@ -330,29 +330,46 @@ func solveORTSDCTS(p float64, pr Params) (pws, pww, tfail float64, err error) {
 // argues p stays below ≈0.1 under collision avoidance; pass pMax = 0 to
 // use the default search bound of 0.5, which safely brackets every optimum
 // in the paper's configurations.
+//
+// The search probes the throughput ~100 times, so it runs on a memoized
+// Eval context: the geometry tables are built once and every probe costs
+// one exponential per quadrature node (parity with the direct
+// Throughput path is pinned to ≤1e-12 by the tests).
 func MaxThroughput(s Scheme, pr Params, pMax float64) (bestP, bestTh float64, err error) {
-	if err := pr.Validate(); err != nil {
+	e, err := NewEval(s, pr)
+	if err != nil {
 		return 0, 0, err
 	}
-	if pMax <= 0 || pMax >= 1 {
-		pMax = 0.5
-	}
-	f := func(p float64) float64 {
-		th, err := Throughput(s, p, pr)
-		if err != nil {
-			return math.Inf(-1)
-		}
-		return th
-	}
-	const eps = 1e-6
-	return numeric.MaximizeHybrid(f, eps, pMax, 64, 1e-9)
+	return e.MaxThroughput(pMax)
 }
 
 // Curve evaluates MaxThroughput for each beamwidth in thetas, returning
 // one throughput per beamwidth. This is the generator for the paper's
-// Fig. 5 series.
+// Fig. 5 series. One Eval context is built per beamwidth and reused for
+// the whole p-search; ORTS-OCTS, whose model does not depend on θ, is
+// solved once and replicated across the sweep.
 func Curve(s Scheme, n float64, lengths Lengths, thetas []float64) ([]float64, error) {
 	out := make([]float64, len(thetas))
+	if s == ORTSOCTS {
+		for _, th := range thetas {
+			// Preserve per-point validation errors (e.g. a θ ≤ 0 entry).
+			if err := (Params{N: n, Beamwidth: th, Lengths: lengths}).Validate(); err != nil {
+				return nil, fmt.Errorf("curve point θ=%v: %w", th, err)
+			}
+		}
+		if len(thetas) == 0 {
+			return out, nil
+		}
+		pr := Params{N: n, Beamwidth: thetas[0], Lengths: lengths}
+		_, v, err := MaxThroughput(s, pr, 0)
+		if err != nil {
+			return nil, fmt.Errorf("curve point θ=%v: %w", thetas[0], err)
+		}
+		for i := range out {
+			out[i] = v
+		}
+		return out, nil
+	}
 	for i, th := range thetas {
 		pr := Params{N: n, Beamwidth: th, Lengths: lengths}
 		_, v, err := MaxThroughput(s, pr, 0)

@@ -1,0 +1,192 @@
+package core
+
+// Eval is the memoized evaluation context for one (scheme, Params)
+// operating point. The P_ws integrands of Section 2 share a structure
+// that makes them cheap to re-evaluate: for every scheme the exponent is
+// linear in the attempt probability p,
+//
+//	integrand(r; p) = 2r · exp(−p·k(r)),
+//
+// where k(r) collects the geometry sector areas, node density and
+// vulnerable-period lengths — all independent of p. A golden-section
+// p-search probes the same (N, θ) point ~100 times, and the Fig. 5 sweep
+// re-derives the same q(t)/B(r) values for every probe; tabulating k(r)
+// on the fixed Simpson grid once turns each subsequent Throughput call
+// into one exponential per grid node with zero allocations.
+//
+// Construction costs one pass of geometry per grid node; Solve,
+// Throughput and MaxThroughput then agree with the direct (unmemoized)
+// path to within float round-off (the parity tests pin ≤1e-12 over the
+// full paper grid).
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/numeric"
+)
+
+// pwsGrid is the shared Simpson grid for the P_ws integrals; identical
+// panel count to the direct path's Integrate calls.
+var pwsGrid = mustGrid()
+
+func mustGrid() *numeric.SimpsonGrid {
+	g, err := numeric.NewSimpsonGrid(0, 1, integrationSteps)
+	if err != nil {
+		panic(err) // unreachable: the interval and panel count are constants
+	}
+	return g
+}
+
+// Eval caches the p-independent integrand tables for one scheme at one
+// parameter point. The zero value is not usable; construct with NewEval.
+type Eval struct {
+	scheme Scheme
+	pr     Params
+
+	// pref[i] = wᵢ·2rᵢ (quadrature weight times integrand prefactor) and
+	// rate[i] = k(rᵢ), so the P_ws integral at probability p is
+	// ExpSum(pref, rate, p).
+	pref []float64
+	rate []float64
+
+	// diskFactor: Pws carries an extra exp(−p·N) (omni-RTS schemes whose
+	// one-slot disk term sits outside the integral).
+	diskFactor bool
+	// pwwRate: P_ww = (1−p)·exp(−p·pwwRate).
+	pwwRate float64
+	// tfailLo/tfailHi bound the truncated-geometric failed period;
+	// tfailConst, when ≥ 0, overrides it with a constant duration.
+	tfailLo, tfailHi int
+	tfailConst       float64
+}
+
+// NewEval validates pr and tabulates the scheme's integrand coefficients
+// on the shared Simpson grid.
+func NewEval(s Scheme, pr Params) (*Eval, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	var (
+		n     = pr.N
+		l     = pr.Lengths
+		theta = pr.Beamwidth
+		dirFr = theta / (2 * math.Pi) // p′/p: fraction of attempts aimed our way
+	)
+	e := &Eval{
+		scheme:     s,
+		pr:         pr,
+		pref:       make([]float64, pwsGrid.Len()),
+		rate:       make([]float64, pwsGrid.Len()),
+		tfailConst: -1,
+	}
+	for i := 0; i < pwsGrid.Len(); i++ {
+		e.pref[i] = pwsGrid.Weight(i) * 2 * pwsGrid.X(i)
+	}
+	switch s {
+	case ORTSOCTS:
+		vuln := float64(2*l.RTS + 1)
+		for i := range e.rate {
+			e.rate[i] = n * geom.HiddenArea(pwsGrid.X(i)) * vuln
+		}
+		e.diskFactor = true
+		e.pwwRate = n
+		e.tfailConst = float64(l.RTS + l.CTS + 2)
+	case DRTSDCTS:
+		expIII := float64(2*l.RTS + l.CTS + l.Data + l.ACK + 4)
+		expIV := float64(2*l.RTS + l.CTS + l.ACK + 2)
+		expV := float64(3*l.RTS + l.Data + 2)
+		for i := range e.rate {
+			a := geom.DRTSDCTSAreas(pwsGrid.X(i), theta)
+			e.rate[i] = a.I*n + a.II*n +
+				dirFr*(a.II*n*float64(2*l.RTS)+a.III*n*expIII+a.IV*n*expIV+a.V*n*expV)
+		}
+		e.pwwRate = dirFr * n
+		e.tfailLo, e.tfailHi = l.RTS+1, l.Succeed()
+	case DRTSOCTS:
+		expIII := float64(2*l.RTS + l.CTS + l.ACK + 2)
+		for i := range e.rate {
+			a := geom.DRTSOCTSAreas(pwsGrid.X(i), theta)
+			e.rate[i] = a.I*n + a.II*n +
+				dirFr*(a.II*n*float64(2*l.RTS)+a.III*n*expIII)
+		}
+		e.pwwRate = n
+		e.tfailLo, e.tfailHi = l.RTS+l.CTS+2, l.Succeed()
+	case ORTSDCTS:
+		vuln := float64(3*l.RTS + l.Data + 2)
+		for i := range e.rate {
+			e.rate[i] = n * geom.HiddenArea(pwsGrid.X(i)) * vuln
+		}
+		e.diskFactor = true
+		e.pwwRate = n
+		e.tfailLo, e.tfailHi = l.RTS+1, l.Succeed()
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %d", int(s))
+	}
+	return e, nil
+}
+
+// Scheme returns the scheme the context was built for.
+func (e *Eval) Scheme() Scheme { return e.scheme }
+
+// Params returns the parameter point the context was built for.
+func (e *Eval) Params() Params { return e.pr }
+
+// Solve computes the Markov steady state at attempt probability p using
+// the tabulated integrand. It allocates nothing.
+func (e *Eval) Solve(p float64) (Steady, error) {
+	if p <= 0 || p >= 1 || math.IsNaN(p) {
+		return Steady{}, ErrBadP
+	}
+	integral := numeric.ExpSum(e.pref, e.rate, p)
+	pws := p * (1 - p) * integral
+	if e.diskFactor {
+		pws *= math.Exp(-p * e.pr.N)
+	}
+	pww := (1 - p) * math.Exp(-p*e.pwwRate)
+	tfail := e.tfailConst
+	if tfail < 0 {
+		tfail = numeric.TruncGeomMean(p, e.tfailLo, e.tfailHi)
+	}
+	pw := 1 / (2 - pww)
+	ps := pw * pws
+	pf := 1 - pw - ps
+	if pf < 0 {
+		pf = 0 // guard against round-off at extreme parameters
+	}
+	return Steady{Pws: pws, Pww: pww, Tfail: tfail, Pw: pw, Ps: ps, Pf: pf}, nil
+}
+
+// Throughput returns the normalized saturation throughput at attempt
+// probability p, mirroring the package-level Throughput.
+func (e *Eval) Throughput(p float64) (float64, error) {
+	st, err := e.Solve(p)
+	if err != nil {
+		return 0, err
+	}
+	ts := float64(e.pr.Lengths.Succeed())
+	denom := st.Pw*1 + st.Ps*ts + st.Pf*st.Tfail
+	if denom <= 0 {
+		return 0, nil
+	}
+	return st.Ps * float64(e.pr.Lengths.Data) / denom, nil
+}
+
+// MaxThroughput maximizes the throughput over p ∈ (0, pMax] with the
+// same hybrid grid + golden-section search as the package-level
+// MaxThroughput, but each probe reuses the tabulated integrand.
+func (e *Eval) MaxThroughput(pMax float64) (bestP, bestTh float64, err error) {
+	if pMax <= 0 || pMax >= 1 {
+		pMax = 0.5
+	}
+	f := func(p float64) float64 {
+		th, err := e.Throughput(p)
+		if err != nil {
+			return math.Inf(-1)
+		}
+		return th
+	}
+	const eps = 1e-6
+	return numeric.MaximizeHybrid(f, eps, pMax, 64, 1e-9)
+}

@@ -1,0 +1,210 @@
+package core
+
+// Parity tests for the memoized evaluation context: the tabulated path
+// must reproduce the direct (pre-memoization) Solve/Throughput/
+// MaxThroughput results to ≤1e-12 over the full paper grid, and a
+// Throughput probe must not allocate.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+// parityTol is the acceptance bound: memoized and direct paths may
+// differ only by float round-off from re-associated exponents.
+const parityTol = 1e-12
+
+// paperGridThetas is the Fig. 5 beamwidth sweep, 15°..180°.
+func paperGridThetas() []float64 { return PaperBeamwidths() }
+
+// relDiff returns |a−b| scaled by max(1, |a|, |b|) so the tolerance is
+// absolute near zero and relative for O(1) values.
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return d / scale
+}
+
+// refMaxThroughput is the pre-memoization search: the exact hybrid
+// grid + golden-section algorithm MaxThroughput used before the Eval
+// context existed, probing the direct Throughput path.
+func refMaxThroughput(s Scheme, pr Params, pMax float64) (float64, float64, error) {
+	if err := pr.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if pMax <= 0 || pMax >= 1 {
+		pMax = 0.5
+	}
+	f := func(p float64) float64 {
+		th, err := Throughput(s, p, pr)
+		if err != nil {
+			return math.Inf(-1)
+		}
+		return th
+	}
+	return numeric.MaximizeHybrid(f, 1e-6, pMax, 64, 1e-9)
+}
+
+func TestEvalThroughputParityPaperGrid(t *testing.T) {
+	probes := []float64{0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.3}
+	for _, s := range AllSchemes() {
+		for _, n := range []float64{3, 5, 8} {
+			for _, th := range paperGridThetas() {
+				pr := paperParams(n, th)
+				e, err := NewEval(s, pr)
+				if err != nil {
+					t.Fatalf("%v N=%v θ=%v: NewEval: %v", s, n, th, err)
+				}
+				for _, p := range probes {
+					direct, err := Throughput(s, p, pr)
+					if err != nil {
+						t.Fatalf("%v N=%v θ=%v p=%v: direct: %v", s, n, th, p, err)
+					}
+					memo, err := e.Throughput(p)
+					if err != nil {
+						t.Fatalf("%v N=%v θ=%v p=%v: memoized: %v", s, n, th, p, err)
+					}
+					if d := relDiff(direct, memo); d > parityTol {
+						t.Errorf("%v N=%v θ=%v p=%v: throughput diverged by %.3g (direct %v, memoized %v)",
+							s, n, th, p, d, direct, memo)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEvalSolveParity(t *testing.T) {
+	for _, s := range AllSchemes() {
+		pr := paperParams(5, math.Pi/6)
+		e, err := NewEval(s, pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []float64{0.002, 0.02, 0.2} {
+			direct, err := Solve(s, p, pr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			memo, err := e.Solve(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checks := []struct {
+				name string
+				d, m float64
+			}{
+				{"Pws", direct.Pws, memo.Pws},
+				{"Pww", direct.Pww, memo.Pww},
+				{"Tfail", direct.Tfail, memo.Tfail},
+				{"Pw", direct.Pw, memo.Pw},
+				{"Ps", direct.Ps, memo.Ps},
+				{"Pf", direct.Pf, memo.Pf},
+			}
+			for _, c := range checks {
+				if d := relDiff(c.d, c.m); d > parityTol {
+					t.Errorf("%v p=%v: %s diverged by %.3g (direct %v, memoized %v)", s, p, c.name, d, c.d, c.m)
+				}
+			}
+		}
+	}
+}
+
+func TestEvalMaxThroughputParityPaperGrid(t *testing.T) {
+	for _, s := range Schemes() {
+		for _, n := range []float64{3, 5, 8} {
+			for _, th := range paperGridThetas() {
+				pr := paperParams(n, th)
+				_, refTh, err := refMaxThroughput(s, pr, 0)
+				if err != nil {
+					t.Fatalf("%v N=%v θ=%v: reference: %v", s, n, th, err)
+				}
+				_, gotTh, err := MaxThroughput(s, pr, 0)
+				if err != nil {
+					t.Fatalf("%v N=%v θ=%v: memoized: %v", s, n, th, err)
+				}
+				if d := relDiff(refTh, gotTh); d > parityTol {
+					t.Errorf("%v N=%v θ=%v: max throughput diverged by %.3g (reference %v, memoized %v)",
+						s, n, th, d, refTh, gotTh)
+				}
+			}
+		}
+	}
+}
+
+func TestCurveParityAndORTSOCTSDedup(t *testing.T) {
+	thetas := paperGridThetas()
+	for _, s := range Schemes() {
+		got, err := Curve(s, 5, PaperLengths(), thetas)
+		if err != nil {
+			t.Fatalf("%v: Curve: %v", s, err)
+		}
+		for i, th := range thetas {
+			pr := paperParams(5, th)
+			_, want, err := refMaxThroughput(s, pr, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := relDiff(want, got[i]); d > parityTol {
+				t.Errorf("%v θ=%v: curve point diverged by %.3g (reference %v, got %v)", s, th, d, want, got[i])
+			}
+		}
+	}
+	// The deduplicated ORTS-OCTS curve must be exactly flat.
+	flat, err := Curve(ORTSOCTS, 5, PaperLengths(), thetas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(flat); i++ {
+		if flat[i] != flat[0] {
+			t.Errorf("ORTS-OCTS curve not bit-flat: point %d = %v, point 0 = %v", i, flat[i], flat[0])
+		}
+	}
+}
+
+func TestCurvePropagatesBadTheta(t *testing.T) {
+	if _, err := Curve(ORTSOCTS, 5, PaperLengths(), []float64{math.Pi / 6, -1}); err == nil {
+		t.Error("Curve should reject a non-positive beamwidth point")
+	}
+	if _, err := Curve(DRTSDCTS, 5, PaperLengths(), []float64{math.Pi / 6, -1}); err == nil {
+		t.Error("Curve should reject a non-positive beamwidth point")
+	}
+}
+
+func TestNewEvalValidation(t *testing.T) {
+	if _, err := NewEval(DRTSDCTS, paperParams(-1, 1)); err == nil {
+		t.Error("NewEval should reject invalid params")
+	}
+	if _, err := NewEval(Scheme(99), paperParams(5, 1)); err == nil {
+		t.Error("NewEval should reject an unknown scheme")
+	}
+}
+
+func TestEvalSolveRejectsBadP(t *testing.T) {
+	e, err := NewEval(DRTSDCTS, paperParams(5, math.Pi/6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0, -0.1, 1, 1.5, math.NaN()} {
+		if _, err := e.Solve(p); err == nil {
+			t.Errorf("Eval.Solve(p=%v) should fail", p)
+		}
+	}
+}
+
+func TestEvalThroughputAllocationFree(t *testing.T) {
+	e, err := NewEval(DRTSDCTS, paperParams(5, math.Pi/6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := e.Throughput(0.02); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Eval.Throughput allocates %v times per call; the workspace contract is zero", allocs)
+	}
+}

@@ -14,6 +14,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/sim"
@@ -57,6 +58,10 @@ type SimConfig struct {
 	DisableEIFS bool
 	// Tracer, when non-nil, receives every node's protocol events.
 	Tracer trace.Tracer
+	// Cache, when non-nil, serves repeat runs from a content-addressed
+	// result store (bypassed while Topology or Tracer overrides are
+	// attached; see sim.Options.Cache).
+	Cache *cache.Store
 	// BasicAccess disables RTS/CTS (the hidden-terminal-prone baseline).
 	BasicAccess bool
 	// OfferedLoadBps, when positive, replaces the saturated sources with
@@ -190,7 +195,7 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return sim.RunScenario(cfg.Scenario(), sim.Options{Topology: cfg.Topology, Tracer: cfg.Tracer})
+	return sim.RunScenario(cfg.Scenario(), sim.Options{Topology: cfg.Topology, Tracer: cfg.Tracer, Cache: cfg.Cache})
 }
 
 // BatchResult aggregates one (scheme, N, beamwidth) cell over many random
@@ -239,7 +244,7 @@ func RunBatch(cfg SimConfig, topologies int) (*BatchResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	runner := sim.Runner{Options: sim.Options{Tracer: cfg.Tracer}}
+	runner := sim.Runner{Options: sim.Options{Tracer: cfg.Tracer, Cache: cfg.Cache}}
 	results, err := runner.Run(cfg.Scenario(), topologies)
 	if err != nil {
 		return nil, err

@@ -264,6 +264,13 @@ type Node struct {
 	respPending bool
 	respTimer   des.Timer
 
+	// respQueue holds the parameters of scheduled SIFS responses in fire
+	// order. Timers all carry the same SIFS delay, so the scheduler fires
+	// them in schedule order and the single pre-bound dispatcher
+	// (fireResponseFn) pops from the front — no per-response closure.
+	respQueue      []respParams
+	fireResponseFn func()
+
 	// txType is the frame type currently on the air (valid while the
 	// radio transmits).
 	txType phy.FrameType
@@ -293,13 +300,15 @@ func New(sched *des.Scheduler, radio *phy.Radio, table *neighbor.Table, src Sour
 		cfg:      cfg,
 		st:       stIdle,
 		cw:       cfg.CWMin,
-		lastData: make(map[phy.NodeID]int64),
+		lastData: make(map[phy.NodeID]int64, 16),
 	}
 	n.resumeDeferenceFn = n.resumeDeference
 	n.difsElapsedFn = n.difsElapsed
 	n.slotElapsedFn = n.slotElapsed
 	n.onCTSTimeoutFn = n.onCTSTimeout
 	n.onACKTimeoutFn = n.onACKTimeout
+	n.fireResponseFn = n.fireResponse
+	n.respQueue = make([]respParams, 0, 4)
 	radio.SetHandler(n)
 	return n, nil
 }
@@ -527,12 +536,67 @@ func (n *Node) sendRTS() {
 	n.emit(trace.TxStart, phy.RTS, n.cur.Dst, "")
 }
 
+// respKind tags a queued SIFS response.
+type respKind uint8
+
+const (
+	respCTS respKind = iota + 1
+	respData
+	respACK
+)
+
+// respParams carries everything a SIFS response needs at fire time that
+// is not read from the node's live state. The DATA response deliberately
+// reads n.cur when it fires, exactly as the former closure did.
+type respParams struct {
+	kind respKind
+	dst  phy.NodeID // CTS/ACK destination
+	nav  des.Time   // NAV to advertise (CTS, DATA)
+}
+
 // scheduleResponse queues a SIFS-separated transmission (no carrier
 // sensing, per the standard).
-func (n *Node) scheduleResponse(fn func()) {
+func (n *Node) scheduleResponse(p respParams) {
 	n.cancelContention()
 	n.respPending = true
-	n.respTimer = n.sched.Schedule(n.cfg.SIFS, fn)
+	n.respQueue = append(n.respQueue, p)
+	n.respTimer = n.sched.Schedule(n.cfg.SIFS, n.fireResponseFn)
+}
+
+// fireResponse pops and transmits the oldest queued response.
+func (n *Node) fireResponse() {
+	p := n.respQueue[0]
+	n.respQueue = n.respQueue[:copy(n.respQueue, n.respQueue[1:])]
+	switch p.kind {
+	case respCTS:
+		n.seq++
+		cts := phy.Frame{Type: phy.CTS, Src: n.ID(), Dst: p.dst, Bytes: n.cfg.CTSBytes, NAV: p.nav, Seq: n.seq}
+		if n.respond(cts, phy.CTS, p.dst) {
+			n.stats.CTSSent++
+			n.emit(trace.TxStart, phy.CTS, p.dst, "")
+			// Hold our own contention through the expected exchange.
+			if until := n.sched.Now() + n.air(n.cfg.CTSBytes) + p.nav; until > n.holdUntil {
+				n.holdUntil = until
+			}
+		}
+	case respData:
+		data := phy.Frame{Type: phy.Data, Src: n.ID(), Dst: n.cur.Dst, Bytes: n.cur.Bytes, NAV: p.nav, Seq: n.cur.Seq}
+		if n.respond(data, phy.Data, n.cur.Dst) {
+			n.stats.DataSent++
+			n.emit(trace.TxStart, phy.Data, n.cur.Dst, "")
+		} else {
+			// Should not happen (our radio is ours between CTS and DATA),
+			// but recover via a fresh attempt rather than deadlock.
+			n.retryLong()
+		}
+	case respACK:
+		n.seq++
+		ack := phy.Frame{Type: phy.ACK, Src: n.ID(), Dst: p.dst, Bytes: n.cfg.ACKBytes, NAV: 0, Seq: n.seq}
+		if n.respond(ack, phy.ACK, p.dst) {
+			n.stats.ACKSent++
+			n.emit(trace.TxStart, phy.ACK, p.dst, "")
+		}
+	}
 }
 
 // respond transmits a SIFS response frame; on radio conflict the response
@@ -600,19 +664,7 @@ func (n *Node) onRTS(f phy.Frame, now des.Time) {
 	if ctsNAV < 0 {
 		ctsNAV = 0
 	}
-	src := f.Src
-	n.scheduleResponse(func() {
-		n.seq++
-		cts := phy.Frame{Type: phy.CTS, Src: n.ID(), Dst: src, Bytes: n.cfg.CTSBytes, NAV: ctsNAV, Seq: n.seq}
-		if n.respond(cts, phy.CTS, src) {
-			n.stats.CTSSent++
-			n.emit(trace.TxStart, phy.CTS, src, "")
-			// Hold our own contention through the expected exchange.
-			if until := n.sched.Now() + n.air(n.cfg.CTSBytes) + ctsNAV; until > n.holdUntil {
-				n.holdUntil = until
-			}
-		}
-	})
+	n.scheduleResponse(respParams{kind: respCTS, dst: f.Src, nav: ctsNAV})
 }
 
 // onCTS continues the handshake with the data frame.
@@ -625,17 +677,7 @@ func (n *Node) onCTS(f phy.Frame) {
 	prop := n.radio.ChannelParams().PropDelay
 	dataNAV := n.cfg.SIFS + n.air(n.cfg.ACKBytes) + prop
 	n.st = stTxData
-	n.scheduleResponse(func() {
-		data := phy.Frame{Type: phy.Data, Src: n.ID(), Dst: n.cur.Dst, Bytes: n.cur.Bytes, NAV: dataNAV, Seq: n.cur.Seq}
-		if n.respond(data, phy.Data, n.cur.Dst) {
-			n.stats.DataSent++
-			n.emit(trace.TxStart, phy.Data, n.cur.Dst, "")
-		} else {
-			// Should not happen (our radio is ours between CTS and DATA),
-			// but recover via a fresh attempt rather than deadlock.
-			n.retryLong()
-		}
-	})
+	n.scheduleResponse(respParams{kind: respData, nav: dataNAV})
 }
 
 // onData delivers the payload (suppressing retransmitted duplicates via
@@ -649,15 +691,7 @@ func (n *Node) onData(f phy.Frame) {
 		n.stats.DataDelivered++
 		n.stats.BitsDelivered += int64(f.Bytes) * 8
 	}
-	src := f.Src
-	n.scheduleResponse(func() {
-		n.seq++
-		ack := phy.Frame{Type: phy.ACK, Src: n.ID(), Dst: src, Bytes: n.cfg.ACKBytes, NAV: 0, Seq: n.seq}
-		if n.respond(ack, phy.ACK, src) {
-			n.stats.ACKSent++
-			n.emit(trace.TxStart, phy.ACK, src, "")
-		}
-	})
+	n.scheduleResponse(respParams{kind: respACK, dst: f.Src})
 }
 
 // onACK completes the handshake.

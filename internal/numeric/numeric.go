@@ -1,11 +1,13 @@
 // Package numeric provides the small numerical-analysis toolkit the
-// analytical model needs: composite Simpson quadrature, golden-section
-// maximization, compensated summation, and the truncated geometric
-// distribution the paper uses for failed-handshake durations.
+// analytical model needs: composite Simpson quadrature (one-shot and as
+// a reusable tabulated grid for integrands evaluated many times),
+// golden-section maximization, compensated summation, and the truncated
+// geometric distribution the paper uses for failed-handshake durations.
 package numeric
 
 import (
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -103,6 +105,100 @@ func MaximizeHybrid(f func(float64) float64, a, b float64, gridN int, tol float6
 	lo := math.Max(a, x0-step)
 	hi := math.Min(b, x0+step)
 	return MaximizeGolden(f, lo, hi, tol)
+}
+
+// SimpsonGrid is a fixed composite-Simpson quadrature grid over [a, b]:
+// precomputed node positions and weights for integrands that are
+// evaluated many times on the same interval. Callers tabulate the
+// p-independent parts of an integrand once (Tabulate into a reused
+// buffer, or X/Weight directly) and then integrate repeatedly with no
+// per-call allocation — the workspace pattern behind the memoized
+// analytical model in internal/core.
+type SimpsonGrid struct {
+	x []float64 // node positions, len = panels+1
+	w []float64 // Simpson weights including the h/3 factor
+}
+
+// NewSimpsonGrid builds the grid for n subintervals over [a, b] (n is
+// rounded up to the next even number, minimum 2, exactly like Integrate).
+func NewSimpsonGrid(a, b float64, n int) (*SimpsonGrid, error) {
+	if b <= a {
+		return nil, ErrBadInterval
+	}
+	if n < 2 {
+		n = 2
+	}
+	if n%2 != 0 {
+		n++
+	}
+	h := (b - a) / float64(n)
+	g := &SimpsonGrid{
+		x: make([]float64, n+1),
+		w: make([]float64, n+1),
+	}
+	for i := 0; i <= n; i++ {
+		g.x[i] = a + float64(i)*h
+		switch {
+		case i == 0 || i == n:
+			g.w[i] = h / 3
+		case i%2 == 1:
+			g.w[i] = 4 * h / 3
+		default:
+			g.w[i] = 2 * h / 3
+		}
+	}
+	g.x[n] = b // exact endpoint, immune to rounding in a+n*h
+	return g, nil
+}
+
+// Len returns the number of grid nodes (panels + 1).
+func (g *SimpsonGrid) Len() int { return len(g.x) }
+
+// X returns the position of node i.
+func (g *SimpsonGrid) X(i int) float64 { return g.x[i] }
+
+// Weight returns the quadrature weight of node i (h/3 factor included).
+func (g *SimpsonGrid) Weight(i int) float64 { return g.w[i] }
+
+// Tabulate evaluates f at every node into buf, reusing it when its
+// capacity suffices (the no-per-call-allocation workspace contract), and
+// returns the filled slice.
+func (g *SimpsonGrid) Tabulate(f func(float64) float64, buf []float64) []float64 {
+	if cap(buf) < len(g.x) {
+		buf = make([]float64, len(g.x))
+	}
+	buf = buf[:len(g.x)]
+	for i, x := range g.x {
+		buf[i] = f(x)
+	}
+	return buf
+}
+
+// Integrate computes Σ wᵢ·vals[i] with compensated summation; vals must
+// hold one integrand value per node.
+func (g *SimpsonGrid) Integrate(vals []float64) (float64, error) {
+	if len(vals) != len(g.x) {
+		return 0, fmt.Errorf("numeric: grid has %d nodes, got %d values", len(g.x), len(vals))
+	}
+	var sum KahanSum
+	for i, v := range vals {
+		sum.Add(g.w[i] * v)
+	}
+	return sum.Value(), nil
+}
+
+// ExpSum returns Σ pref[i]·exp(-s·rate[i]) with compensated summation.
+// It is the hot kernel of the memoized analytical model: a tabulated
+// quadrature whose only remaining parameter dependence is the
+// exponential rate s. Slices must have equal length; the call allocates
+// nothing.
+func ExpSum(pref, rate []float64, s float64) float64 {
+	_ = pref[len(rate)-1] // bounds hint: one check instead of two per node
+	var sum KahanSum
+	for i, r := range rate {
+		sum.Add(pref[i] * math.Exp(-s*r))
+	}
+	return sum.Value()
 }
 
 // TruncGeomMean returns the mean of a geometric-like distribution with

@@ -7,6 +7,109 @@ import (
 	"testing/quick"
 )
 
+func TestSimpsonGridMatchesIntegrate(t *testing.T) {
+	fns := []struct {
+		name string
+		f    func(float64) float64
+	}{
+		{"poly", func(x float64) float64 { return 3*x*x - 2*x + 1 }},
+		{"exp", func(x float64) float64 { return 2 * x * math.Exp(-3*x) }},
+		{"trig", func(x float64) float64 { return math.Sin(2*x) + math.Cos(x/2) }},
+	}
+	for _, n := range []int{2, 5, 64, 512} {
+		g, err := NewSimpsonGrid(0, 1, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf []float64
+		for _, tt := range fns {
+			want, err := Integrate(tt.f, 0, 1, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf = g.Tabulate(tt.f, buf)
+			got, err := g.Integrate(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-13 {
+				t.Errorf("n=%d %s: grid %v vs Integrate %v", n, tt.name, got, want)
+			}
+		}
+	}
+}
+
+func TestSimpsonGridShape(t *testing.T) {
+	g, err := NewSimpsonGrid(0, 2, 5) // rounds up to 6 panels
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 7 {
+		t.Fatalf("Len = %d, want 7 (5 panels rounds up to 6)", g.Len())
+	}
+	if g.X(0) != 0 || g.X(g.Len()-1) != 2 {
+		t.Errorf("endpoints = %v, %v; want 0, 2", g.X(0), g.X(g.Len()-1))
+	}
+	var wsum float64
+	for i := 0; i < g.Len(); i++ {
+		wsum += g.Weight(i)
+	}
+	if math.Abs(wsum-2) > 1e-12 {
+		t.Errorf("weights sum to %v, want the interval length 2", wsum)
+	}
+}
+
+func TestSimpsonGridRejectsBadInterval(t *testing.T) {
+	if _, err := NewSimpsonGrid(1, 1, 4); err == nil {
+		t.Error("NewSimpsonGrid(1,1) should fail")
+	}
+	if _, err := NewSimpsonGrid(2, 1, 4); err == nil {
+		t.Error("NewSimpsonGrid(2,1) should fail")
+	}
+}
+
+func TestSimpsonGridIntegrateRejectsWrongLength(t *testing.T) {
+	g, err := NewSimpsonGrid(0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Integrate(make([]float64, 3)); err == nil {
+		t.Error("Integrate with wrong value count should fail")
+	}
+}
+
+func TestTabulateReusesBuffer(t *testing.T) {
+	g, err := NewSimpsonGrid(0, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 0, g.Len())
+	got := g.Tabulate(func(x float64) float64 { return x }, buf)
+	if &got[0] != &buf[:1][0] {
+		t.Error("Tabulate allocated a fresh slice despite sufficient capacity")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		got = g.Tabulate(func(x float64) float64 { return x }, got)
+	})
+	if allocs != 0 {
+		t.Errorf("Tabulate into a sized buffer allocates %v times per call", allocs)
+	}
+}
+
+func TestExpSum(t *testing.T) {
+	pref := []float64{0.5, 1.5, 2.0}
+	rate := []float64{0.0, 1.0, 2.0}
+	s := 0.7
+	want := pref[0]*math.Exp(-s*rate[0]) + pref[1]*math.Exp(-s*rate[1]) + pref[2]*math.Exp(-s*rate[2])
+	if got := ExpSum(pref, rate, s); math.Abs(got-want) > 1e-15 {
+		t.Errorf("ExpSum = %v, want %v", got, want)
+	}
+	allocs := testing.AllocsPerRun(50, func() { _ = ExpSum(pref, rate, s) })
+	if allocs != 0 {
+		t.Errorf("ExpSum allocates %v times per call", allocs)
+	}
+}
+
 func almostEqual(a, b, tol float64) bool {
 	return math.Abs(a-b) <= tol
 }

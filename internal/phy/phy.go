@@ -632,8 +632,9 @@ func (c *Channel) Neighbors(id NodeID) []NodeID {
 		return nil
 	}
 	r2 := c.params.Range * c.params.Range
-	var out []NodeID
-	for _, cand := range c.gather(self.pos) {
+	cands := c.gather(self.pos)
+	out := make([]NodeID, 0, len(cands))
+	for _, cand := range cands {
 		o := c.radios[cand]
 		if o.id != id && o.pos.Dist2(self.pos) <= r2 {
 			out = append(out, o.id)

@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/cache"
 	"repro/internal/des"
 	"repro/internal/mac"
 	"repro/internal/mobility"
@@ -33,6 +34,11 @@ type Options struct {
 	// Tracer receives every node's protocol events. It takes precedence
 	// over the scenario's trace sink.
 	Tracer trace.Tracer
+	// Cache, when set, lets RunScenario (and therefore Runner.Run) serve
+	// results from a content-addressed store instead of re-running
+	// identical scenarios. Runs with a Topology or Tracer override bypass
+	// the cache: those overrides are not part of the content address.
+	Cache *cache.Store
 }
 
 // Sim is a fully assembled, not-yet-started simulation.

@@ -1,0 +1,97 @@
+package sim
+
+// Result caching. Determinism is the enabler: a Scenario's canonical
+// bytes plus the engine fingerprint fully determine the Result (the
+// kernel-determinism goldens pin this), so a content-addressed lookup
+// can replace a simulation run bit-for-bit. Runs with runtime overrides
+// attached (a pre-generated topology or a tracer) are NOT cached — the
+// override isn't part of the canonical bytes, and replaying a cached
+// result would silently drop tracer side effects.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// EngineFingerprint identifies the simulation kernel's behavior for
+// cache addressing. Bump the version suffix whenever any change can
+// alter a Result for the same scenario bytes (MAC/PHY/DES semantics,
+// RNG consumption order, metric definitions) so stale entries become
+// unreachable instead of wrong.
+const EngineFingerprint = "repro-sim/v1"
+
+// optionsFingerprint describes the cacheable Options state. Runs are
+// only cached when no runtime overrides are attached, so today this is
+// a single canonical value; it becomes a real encoding if cacheable
+// options ever appear.
+const optionsFingerprint = "default"
+
+// ScenarioKey computes the content address of a scenario's result:
+// SHA-256 over the canonical scenario bytes, the engine fingerprint and
+// the options fingerprint.
+func ScenarioKey(sc Scenario) (cache.Key, error) {
+	b, err := MarshalScenario(sc)
+	if err != nil {
+		return cache.Key{}, err
+	}
+	return cache.NewKeyBuilder().
+		Write("scenario", b).
+		Write("engine", []byte(EngineFingerprint)).
+		Write("options", []byte(optionsFingerprint)).
+		Key(), nil
+}
+
+// encodeResult renders the cache payload for a Result. JSON float
+// encoding is shortest-form and round-trips bit-exactly, so a decoded
+// Result re-encodes to the same golden bytes as a fresh one.
+func encodeResult(r *Result) ([]byte, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("sim: encode result: %w", err)
+	}
+	return b, nil
+}
+
+// decodeResult parses a cache payload back into a Result.
+func decodeResult(b []byte) (*Result, error) {
+	var r Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("sim: decode cached result: %w", err)
+	}
+	return &r, nil
+}
+
+// cacheable reports whether a run under opts may be served from or
+// stored to the cache.
+func cacheable(opts Options) bool {
+	return opts.Cache != nil && opts.Topology == nil && opts.Tracer == nil
+}
+
+// runCached serves sc from the cache when possible, otherwise runs it
+// and stores the result. A corrupt or undecodable entry falls through
+// to a fresh run; a failed store does not fail the (successful) run.
+func runCached(sc Scenario, opts Options) (*Result, error) {
+	key, err := ScenarioKey(sc)
+	if err != nil {
+		return nil, err
+	}
+	if payload, ok := opts.Cache.Get(key); ok {
+		if res, err := decodeResult(payload); err == nil {
+			return res, nil
+		}
+	}
+	s, err := Build(sc, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	if payload, err := encodeResult(res); err == nil {
+		_ = opts.Cache.Put(key, payload) // best effort; the result stands
+	}
+	return res, nil
+}

@@ -14,8 +14,13 @@ import (
 	"sync"
 )
 
-// RunScenario builds and runs a single scenario.
+// RunScenario builds and runs a single scenario. With Options.Cache set
+// (and no runtime overrides attached) the result is served from the
+// content-addressed store when present, bit-identical to a fresh run.
 func RunScenario(sc Scenario, opts Options) (*Result, error) {
+	if cacheable(opts) {
+		return runCached(sc, opts)
+	}
 	s, err := Build(sc, opts)
 	if err != nil {
 		return nil, err
