@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build lint lint-extra test bench bench-smoke bench-compare fmt-check scenarios sweep-cached
+.PHONY: all build lint lint-extra test bench bench-smoke bench-compare fmt-check scenarios sweep-cached telemetry-smoke
 
 all: build lint test
 
@@ -39,7 +39,7 @@ bench:
 # One iteration each: catches compile errors and panics in the
 # benchmark harness without turning CI into a perf run.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkScheduler$$|BenchmarkChannelBroadcast$$|BenchmarkScenarioCache' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkScheduler$$|BenchmarkChannelBroadcast$$|BenchmarkScenarioCache|BenchmarkTelemetry' -benchtime 1x -benchmem .
 
 # Regression gate against the committed baseline. A short time-based
 # benchtime keeps the gate fast while giving the nanosecond benches
@@ -57,6 +57,17 @@ sweep-cached:
 	rm -rf .sweep-cache
 	$(GO) run ./cmd/experiments -run fig6 -topologies 5 -duration 1s -cache .sweep-cache -cache-stats
 	$(GO) run ./cmd/experiments -run fig6 -topologies 5 -duration 1s -cache .sweep-cache -cache-stats
+
+# Telemetry round trip on the canonical trajectory scenario: two exports
+# of the same run must be byte-identical (the determinism contract), and
+# simtrace must be able to summarize and filter the artifact.
+telemetry-smoke:
+	$(GO) run ./cmd/netsim -scenario internal/sim/testdata/telemetry-trajectory.json -telemetry .telemetry-a.jsonl
+	$(GO) run ./cmd/netsim -scenario internal/sim/testdata/telemetry-trajectory.json -telemetry .telemetry-b.jsonl
+	cmp .telemetry-a.jsonl .telemetry-b.jsonl
+	$(GO) run ./cmd/simtrace summarize .telemetry-a.jsonl
+	$(GO) run ./cmd/simtrace filter -kind agg .telemetry-a.jsonl > /dev/null
+	rm -f .telemetry-a.jsonl .telemetry-b.jsonl
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -21,6 +21,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/numeric"
 	"repro/internal/phy"
+	"repro/internal/telemetry"
 )
 
 // benchSim is the reduced standard cell used by the figure benches.
@@ -408,6 +409,37 @@ func BenchmarkSimulationSecond(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := benchSim(core.DRTSDCTS, 5, 90)
 		cfg.Duration = des.Second
+		if _, err := experiments.RunSim(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTelemetryOff re-measures the standard simulated second with
+// the telemetry subsystem compiled in but disabled — the nil-receiver
+// fast path. Gated against BenchmarkSimulationSecond's BENCH_after.json
+// entry: disabled telemetry must cost nothing (same ns/op envelope, no
+// extra allocations).
+func BenchmarkTelemetryOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchSim(core.DRTSDCTS, 5, 90)
+		cfg.Duration = des.Second
+		if _, err := experiments.RunSim(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTelemetryOn measures the same second with 10ms sampling and
+// every catalog metric live, streaming into a discard sink — the full
+// observability cost (registry updates on the MAC/PHY hot paths plus the
+// probe's per-tick record construction).
+func BenchmarkTelemetryOn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchSim(core.DRTSDCTS, 5, 90)
+		cfg.Duration = des.Second
+		cfg.TelemetryInterval = 10 * des.Millisecond
+		cfg.Telemetry = telemetry.Discard{}
 		if _, err := experiments.RunSim(cfg); err != nil {
 			b.Fatal(err)
 		}

@@ -30,7 +30,7 @@ import (
 // hotPathBenchmarks is the default set: the event-kernel and channel
 // micro-benches, the end-to-end cost of one simulated second, the
 // analytical Fig. 5 sweep, and the result cache cold/warm pair.
-const hotPathBenchmarks = "^(BenchmarkScheduler|BenchmarkChannelBroadcast|BenchmarkSimulationSecond|BenchmarkFig5|BenchmarkScenarioCache)$"
+const hotPathBenchmarks = "^(BenchmarkScheduler|BenchmarkChannelBroadcast|BenchmarkSimulationSecond|BenchmarkFig5|BenchmarkScenarioCache|BenchmarkTelemetryOff|BenchmarkTelemetryOn)$"
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {

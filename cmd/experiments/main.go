@@ -7,6 +7,7 @@
 //	fig7       simulated delay comparison (Section 4)
 //	collision  collision-ratio statistics (Section 4, omitted in the paper)
 //	fairness   BEB fairness statistics (Section 4, omitted in the paper)
+//	trajectory single-run telemetry export: throughput/collision/fairness vs sim time (extension)
 //	loadsweep  offered-load vs delivered-throughput/delay study (extension)
 //	mobility   node-speed vs throughput study with stale bearings (extension)
 //	modelvssim analytical-vs-simulated throughput comparison (extension)
@@ -37,6 +38,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/experiments"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -60,6 +62,8 @@ func run(args []string) error {
 		dump         = fs.Bool("dump-scenario", false, "print the base scenario as canonical JSON and exit")
 		cacheDir     = fs.String("cache", "", "directory for the content-addressed result cache (repeat sweeps are served from it)")
 		cacheStats   = fs.Bool("cache-stats", false, "print cache hit/miss/eviction counters on exit (requires -cache)")
+		telPath      = fs.String("telemetry", "telemetry.jsonl", "output file for the trajectory study's JSONL export")
+		telInterval  = fs.Duration("telemetry-interval", 10*time.Millisecond, "sim-time sampling interval for the trajectory study")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -161,6 +165,38 @@ func run(args []string) error {
 				return err
 			}
 		}
+		fmt.Println()
+	}
+
+	if targets["trajectory"] {
+		base := withDefaults(5, 30)
+		if base.Scheme == 0 {
+			base.Scheme = core.DRTSDCTS
+		}
+		base.TelemetryInterval = des.Time(telInterval.Nanoseconds())
+		f, err := os.Create(*telPath)
+		if err != nil {
+			return err
+		}
+		w := telemetry.NewWriter(f)
+		base.Telemetry = w
+		res, err := experiments.RunSim(base)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trajectory study: %s N=%d θ=%g° seed=%d, sampled every %v for %v\n",
+			base.Scheme, base.N, base.BeamwidthDeg, base.Seed, *telInterval, time.Duration(base.Duration))
+		fmt.Printf("  final mean throughput %.1f Kb/s, collision ratio %.3f, Jain %.3f\n",
+			res.MeanThroughputBps()/1000, res.MeanCollisionRatio(), res.Jain)
+		fmt.Printf("  export written to %s (inspect with: simtrace summarize %s)\n", *telPath, *telPath)
 		fmt.Println()
 	}
 

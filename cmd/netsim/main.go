@@ -12,6 +12,7 @@
 //	netsim -scheme drts-dcts -n 5 -beam 90 -hello -verbose
 //	netsim -scheme drts-dcts -n 5 -beam 60 -dump-scenario > run.json
 //	netsim -scenario run.json
+//	netsim -scheme drts-dcts -n 5 -beam 60 -telemetry run.jsonl -telemetry-interval 10ms
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/experiments"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -54,6 +56,8 @@ func run(args []string) error {
 		adaptive     = fs.Duration("adaptive-rts", 0, "adaptive RTS staleness threshold (0 = off)")
 		verbose      = fs.Bool("verbose", false, "print per-node stats (single-topology mode)")
 		traceN       = fs.Int("trace", 0, "print the last N protocol trace events (single-topology mode)")
+		telPath      = fs.String("telemetry", "", "write a telemetry JSONL export to FILE (\"-\" for stdout); analyze with simtrace")
+		telInterval  = fs.Duration("telemetry-interval", 10*time.Millisecond, "sim-time sampling interval for -telemetry")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +90,29 @@ func run(args []string) error {
 			AdaptiveRTS:    des.Time(adaptive.Nanoseconds()),
 		}.Scenario()
 	}
+	// -telemetry turns on sampling (unless the scenario file already did)
+	// and streams the export to the named file. The sink plugs into both
+	// the single-run and the sharded-runner paths; the runner merges the
+	// per-shard series in shard order before anything reaches the file.
+	var telSink *telemetry.Writer
+	if *telPath != "" {
+		if !sc.Telemetry.Enabled() {
+			sc.Telemetry.Interval = sim.Duration(telInterval.Nanoseconds())
+		}
+	}
+	if *telPath != "" && !*dump {
+		out := os.Stdout
+		if *telPath != "-" {
+			f, err := os.Create(*telPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		telSink = telemetry.NewWriter(out)
+		defer telSink.Flush()
+	}
 	if err := sc.Validate(); err != nil {
 		return err
 	}
@@ -99,7 +126,11 @@ func run(args []string) error {
 	dur := des.Time(sc.Duration)
 
 	if *topos > 1 {
-		results, err := (sim.Runner{}).Run(sc, *topos)
+		runner := sim.Runner{}
+		if telSink != nil {
+			runner.Options.Telemetry = telSink
+		}
+		results, err := runner.Run(sc, *topos)
 		if err != nil {
 			return err
 		}
@@ -117,6 +148,9 @@ func run(args []string) error {
 	if *traceN > 0 {
 		rec = trace.NewRecorder(*traceN)
 		opts.Tracer = rec
+	}
+	if telSink != nil {
+		opts.Telemetry = telSink
 	}
 	res, err := sim.RunScenario(sc, opts)
 	if err != nil {

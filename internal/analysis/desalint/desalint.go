@@ -44,6 +44,7 @@ var SimPackages = []string{
 	"repro/internal/experiments",
 	"repro/internal/sim",
 	"repro/internal/cache",
+	"repro/internal/telemetry",
 }
 
 // IsSimPackage reports whether path falls under the simulation subtree.

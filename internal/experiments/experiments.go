@@ -19,6 +19,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -90,6 +91,17 @@ type SimConfig struct {
 	// floor): strong frames capture, and directional gain follows the
 	// paper's footnote 2.
 	SINR bool
+	// TelemetryInterval, when positive, samples per-node and aggregate
+	// metrics every interval of sim time and streams them to Telemetry
+	// (see internal/telemetry). Zero disables telemetry entirely.
+	TelemetryInterval des.Time
+	// TelemetryMetrics restricts the registered instruments to the named
+	// subset of sim.TelemetryMetricNames(); empty registers all.
+	TelemetryMetrics []string
+	// Telemetry receives the streaming export when TelemetryInterval is
+	// set. Batch runs buffer per shard and merge deterministically in
+	// shard order. Like Tracer, a telemetry-enabled run bypasses Cache.
+	Telemetry telemetry.Sink
 }
 
 // Validate checks the configuration.
@@ -129,6 +141,10 @@ func (c SimConfig) Scenario() sim.Scenario {
 			AdaptiveRTS:    sim.Duration(c.AdaptiveRTS),
 		},
 		SampleDelays: c.SampleDelays,
+		Telemetry: sim.TelemetrySpec{
+			Interval: sim.Duration(c.TelemetryInterval),
+			Metrics:  c.TelemetryMetrics,
+		},
 	}
 	if c.OfferedLoadBps > 0 {
 		sc.Traffic.Kind = "cbr"
@@ -152,21 +168,23 @@ func ConfigFromScenario(sc sim.Scenario) (SimConfig, error) {
 		return SimConfig{}, err
 	}
 	cfg := SimConfig{
-		Scheme:         scheme,
-		BeamwidthDeg:   sc.BeamwidthDeg,
-		N:              sc.Topology.N,
-		Seed:           sc.Seed,
-		Duration:       des.Time(sc.Duration),
-		PacketBytes:    sc.Traffic.PacketBytes,
-		TopologyKind:   sc.Topology.Kind,
-		HelloBootstrap: sc.Ablations.HelloBootstrap,
-		Capture:        sc.PHY.Capture,
-		NAVOracle:      sc.PHY.NAVOracle,
-		DisableEIFS:    sc.Ablations.DisableEIFS,
-		BasicAccess:    sc.Ablations.BasicAccess,
-		SampleDelays:   sc.SampleDelays,
-		AdaptiveRTS:    des.Time(sc.Ablations.AdaptiveRTS),
-		SINR:           sc.PHY.SINR,
+		Scheme:            scheme,
+		BeamwidthDeg:      sc.BeamwidthDeg,
+		N:                 sc.Topology.N,
+		Seed:              sc.Seed,
+		Duration:          des.Time(sc.Duration),
+		PacketBytes:       sc.Traffic.PacketBytes,
+		TopologyKind:      sc.Topology.Kind,
+		HelloBootstrap:    sc.Ablations.HelloBootstrap,
+		Capture:           sc.PHY.Capture,
+		NAVOracle:         sc.PHY.NAVOracle,
+		DisableEIFS:       sc.Ablations.DisableEIFS,
+		BasicAccess:       sc.Ablations.BasicAccess,
+		SampleDelays:      sc.SampleDelays,
+		AdaptiveRTS:       des.Time(sc.Ablations.AdaptiveRTS),
+		SINR:              sc.PHY.SINR,
+		TelemetryInterval: des.Time(sc.Telemetry.Interval),
+		TelemetryMetrics:  sc.Telemetry.Metrics,
 	}
 	switch sc.Traffic.Kind {
 	case "", "saturated":
@@ -195,7 +213,9 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return sim.RunScenario(cfg.Scenario(), sim.Options{Topology: cfg.Topology, Tracer: cfg.Tracer, Cache: cfg.Cache})
+	return sim.RunScenario(cfg.Scenario(), sim.Options{
+		Topology: cfg.Topology, Tracer: cfg.Tracer, Cache: cfg.Cache, Telemetry: cfg.Telemetry,
+	})
 }
 
 // BatchResult aggregates one (scheme, N, beamwidth) cell over many random
@@ -244,7 +264,7 @@ func RunBatch(cfg SimConfig, topologies int) (*BatchResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	runner := sim.Runner{Options: sim.Options{Tracer: cfg.Tracer, Cache: cfg.Cache}}
+	runner := sim.Runner{Options: sim.Options{Tracer: cfg.Tracer, Cache: cfg.Cache, Telemetry: cfg.Telemetry}}
 	results, err := runner.Run(cfg.Scenario(), topologies)
 	if err != nil {
 		return nil, err

@@ -24,8 +24,28 @@ import (
 	"repro/internal/geom"
 	"repro/internal/neighbor"
 	"repro/internal/phy"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
+
+// Metrics holds optional telemetry instruments for MAC-level
+// distributions. Every field may be nil — observations on nil
+// instruments are no-ops, so instrumented code records unconditionally
+// and a run without telemetry pays only a nil check (the disabled path
+// is bench-gated to zero extra allocations).
+type Metrics struct {
+	// Backoff observes the slot count of every backoff draw.
+	Backoff *telemetry.Histogram
+	// CW observes the contention window (slots) at every backoff draw,
+	// capturing the binary-exponential-backoff pressure trajectory.
+	CW *telemetry.Histogram
+	// HandshakeUs observes the MAC service time of every acknowledged
+	// packet (dequeue to ACK), in microseconds.
+	HandshakeUs *telemetry.Histogram
+	// NAVUs observes every NAV duration adopted through virtual carrier
+	// sensing (overheard frames and oracle NAV hints), in microseconds.
+	NAVUs *telemetry.Histogram
+}
 
 // Packet is one MAC service data unit waiting for transmission.
 type Packet struct {
@@ -98,6 +118,10 @@ type Config struct {
 	// every successfully acknowledged packet (for per-packet delay
 	// distributions beyond the running mean in Stats).
 	OnDelivery func(delay des.Time)
+
+	// Metrics carries optional telemetry instruments; the zero value
+	// (all nil) disables them at no cost.
+	Metrics Metrics
 }
 
 // DefaultConfig returns the Table 1 configuration for the given scheme
@@ -365,6 +389,8 @@ func (n *Node) nextPacket() {
 func (n *Node) beginAttempt() {
 	n.st = stContend
 	n.backoff = n.sched.Rand().Intn(n.cw + 1)
+	n.cfg.Metrics.Backoff.Observe(float64(n.backoff))
+	n.cfg.Metrics.CW.Observe(float64(n.cw))
 	if n.cfg.Tracer != nil {
 		n.emit(trace.Backoff, 0, -1, fmt.Sprintf("cw=%d slots=%d", n.cw, n.backoff))
 	}
@@ -631,6 +657,9 @@ func (n *Node) OnFrame(f phy.Frame) {
 	}
 	if f.Dst != n.ID() {
 		// Overheard: virtual carrier sensing.
+		if f.NAV > 0 {
+			n.cfg.Metrics.NAVUs.Observe(f.NAV.Microseconds())
+		}
 		if until := now + f.NAV; until > n.navUntil {
 			n.navUntil = until
 		}
@@ -704,6 +733,7 @@ func (n *Node) onACK(f phy.Frame, now des.Time) {
 	n.stats.BitsAcked += int64(n.cur.Bytes) * 8
 	n.stats.DelaySum += now - n.serviceStart
 	n.stats.DelayCount++
+	n.cfg.Metrics.HandshakeUs.Observe((now - n.serviceStart).Microseconds())
 	if n.cfg.OnDelivery != nil {
 		n.cfg.OnDelivery(now - n.serviceStart)
 	}
@@ -716,6 +746,9 @@ func (n *Node) onACK(f phy.Frame, now des.Time) {
 func (n *Node) OnNAVHint(f phy.Frame) {
 	if f.Dst == n.ID() {
 		return
+	}
+	if f.NAV > 0 {
+		n.cfg.Metrics.NAVUs.Observe(f.NAV.Microseconds())
 	}
 	if until := n.sched.Now() + f.NAV; until > n.navUntil {
 		n.navUntil = until

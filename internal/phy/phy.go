@@ -20,7 +20,23 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/geom"
+	"repro/internal/telemetry"
 )
+
+// Metrics holds optional telemetry counters for channel-level frame
+// accounting. Every field may be nil — counting on a nil instrument is
+// a no-op, so the instrumented hot path pays only a nil check when
+// telemetry is disabled.
+type Metrics struct {
+	// TxFrames counts every frame put on the air, network-wide.
+	TxFrames *telemetry.Counter
+	// RxFrames counts every frame successfully decoded by some radio
+	// (one transmission can be decoded by many receivers).
+	RxFrames *telemetry.Counter
+	// RxErrors counts garbled receptions (collision damage observed at a
+	// radio).
+	RxErrors *telemetry.Counter
+}
 
 // NodeID identifies a radio in the network. IDs are dense and start at 0.
 type NodeID int
@@ -289,6 +305,7 @@ func (r *Radio) Transmit(f Frame, m Mode) (des.Time, error) {
 	airtime := r.ch.params.Airtime(f.Bytes)
 	r.ch.txTime[f.Type] += airtime
 	r.ch.txCount[f.Type]++
+	r.ch.metrics.TxFrames.Inc()
 	r.ch.propagate(r, f, m, airtime)
 	r.ch.sched.ScheduleEvent(airtime, &r.txDone)
 	return airtime, nil
@@ -376,8 +393,10 @@ func (r *Radio) signalEnd(sig *signal) {
 	case sig.missed:
 		// The radio never perceived this signal; nothing to report.
 	case sig.corrupted:
+		r.ch.metrics.RxErrors.Inc()
 		r.handler.OnFrameError()
 	default:
+		r.ch.metrics.RxFrames.Inc()
 		r.handler.OnFrame(sig.frame)
 	}
 	if len(r.active) == 0 && !r.transmitting {
@@ -400,6 +419,7 @@ type Channel struct {
 
 	txTime  map[FrameType]des.Time
 	txCount map[FrameType]int64
+	metrics Metrics
 
 	// Spatial index: cell -> slot in buckets; buckets hold radio IDs in
 	// ascending order (deterministic delivery order). Bucket storage is
@@ -580,6 +600,10 @@ func NewChannel(sched *des.Scheduler, params Params) (*Channel, error) {
 
 // Params returns the channel configuration.
 func (c *Channel) Params() Params { return c.params }
+
+// SetMetrics installs telemetry counters for the channel's frame
+// accounting. The zero Metrics value (all nil) disables them.
+func (c *Channel) SetMetrics(m Metrics) { c.metrics = m }
 
 // AddRadio attaches a new radio at pos. IDs are assigned densely in
 // attachment order. The handler must be non-nil before the first event

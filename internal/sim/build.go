@@ -20,6 +20,7 @@ import (
 	"repro/internal/neighbor"
 	"repro/internal/phy"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/traffic"
@@ -39,6 +40,12 @@ type Options struct {
 	// identical scenarios. Runs with a Topology or Tracer override bypass
 	// the cache: those overrides are not part of the content address.
 	Cache *cache.Store
+	// Telemetry receives the streaming export of a run whose scenario
+	// enables telemetry (ignored otherwise). When nil, Build provides an
+	// in-memory Buffer exposed as Sim.Telemetry. Telemetry-enabled runs
+	// bypass the cache — like Tracer, the sink's side effects cannot be
+	// replayed from a cached result.
+	Telemetry telemetry.Sink
 }
 
 // Sim is a fully assembled, not-yet-started simulation.
@@ -58,9 +65,13 @@ type Sim struct {
 	// Recorder is the trace ring when the scenario asked for one
 	// (trace kind "recorder" and no Options.Tracer override).
 	Recorder *trace.Recorder
+	// Telemetry is the in-memory export buffer when the scenario enables
+	// telemetry and no Options.Telemetry sink was supplied.
+	Telemetry *telemetry.Buffer
 
 	starters []SelfDriven
 	delayRes *stats.Reservoir
+	tel      *telemetryCollector
 }
 
 // Result holds the per-run metrics for the measured inner nodes. Field
@@ -158,7 +169,7 @@ func GenerateTopology(rng *rand.Rand, sc Scenario) (*topology.Topology, error) {
 	}
 	builder, ok := lookupTopology(kind)
 	if !ok {
-		return nil, fmt.Errorf("sim: unknown topology kind %q (registered: %v)", kind, TopologyKinds())
+		return nil, fmt.Errorf("sim: topology.kind: unknown topology kind %q (registered: %v)", kind, TopologyKinds())
 	}
 	topo, err := builder(rng, sc)
 	if err != nil {
@@ -225,9 +236,27 @@ func Build(sc Scenario, opts Options) (*Sim, error) {
 		tracer = recorder
 	}
 
+	var tel *telemetryCollector
+	var telBuf *telemetry.Buffer
+	if sc.Telemetry.Enabled() {
+		sink := opts.Telemetry
+		if sink == nil {
+			telBuf = telemetry.NewBuffer()
+			sink = telBuf
+		}
+		tel, err = newTelemetryCollector(sc, sink, topo.InnerCount())
+		if err != nil {
+			return nil, err
+		}
+		ch.SetMetrics(tel.phyMetrics)
+	}
+
 	macCfg := mac.DefaultConfig(scheme, sc.BeamwidthDeg*math.Pi/180)
 	macCfg.DisableEIFS = sc.Ablations.DisableEIFS
 	macCfg.Tracer = tracer
+	if tel != nil {
+		macCfg.Metrics = tel.macMetrics
+	}
 	macCfg.BasicAccess = sc.Ablations.BasicAccess
 	if sc.Ablations.AdaptiveRTS > 0 {
 		macCfg.AdaptiveRTSStaleness = des.Time(sc.Ablations.AdaptiveRTS)
@@ -241,18 +270,20 @@ func Build(sc Scenario, opts Options) (*Sim, error) {
 	trafficSpec := sc.resolvedTrafficSpec()
 	buildSource, ok := lookupTraffic(trafficSpec.Kind)
 	if !ok {
-		return nil, fmt.Errorf("sim: unknown traffic kind %q (registered: %v)", trafficSpec.Kind, TrafficKinds())
+		return nil, fmt.Errorf("sim: traffic.kind: unknown traffic kind %q (registered: %v)", trafficSpec.Kind, TrafficKinds())
 	}
 
 	s := &Sim{
-		Scenario: sc,
-		Sched:    sched,
-		Channel:  ch,
-		Topology: topo,
-		Nodes:    make([]*mac.Node, ch.NumRadios()),
-		Tables:   tables,
-		Recorder: recorder,
-		delayRes: delayRes,
+		Scenario:  sc,
+		Sched:     sched,
+		Channel:   ch,
+		Topology:  topo,
+		Nodes:     make([]*mac.Node, ch.NumRadios()),
+		Tables:    tables,
+		Recorder:  recorder,
+		Telemetry: telBuf,
+		delayRes:  delayRes,
+		tel:       tel,
 	}
 	for i := 0; i < ch.NumRadios(); i++ {
 		id := phy.NodeID(i)
@@ -308,7 +339,17 @@ func (s *Sim) Run() (*Result, error) {
 	}
 	start := s.Sched.Now() // after any bootstrap
 	duration := des.Time(sc.Duration)
+	if s.tel != nil {
+		if err := s.tel.startSampling(s, duration); err != nil {
+			return nil, err
+		}
+	}
 	s.Sched.Run(start + duration)
+	if s.tel != nil {
+		if err := s.tel.finish(s); err != nil {
+			return nil, err
+		}
+	}
 
 	res := &Result{
 		ThroughputBps:  make([]float64, s.Topology.InnerCount()),

@@ -63,10 +63,13 @@ func decodeResult(b []byte) (*Result, error) {
 	return &r, nil
 }
 
-// cacheable reports whether a run under opts may be served from or
-// stored to the cache.
-func cacheable(opts Options) bool {
-	return opts.Cache != nil && opts.Topology == nil && opts.Tracer == nil
+// cacheable reports whether a run of sc under opts may be served from
+// or stored to the cache. Telemetry-enabled scenarios bypass the cache
+// entirely: the streaming export is a side effect a cached Result
+// cannot replay, exactly like a Tracer override.
+func cacheable(sc Scenario, opts Options) bool {
+	return opts.Cache != nil && opts.Topology == nil && opts.Tracer == nil &&
+		!sc.Telemetry.Enabled()
 }
 
 // runCached serves sc from the cache when possible, otherwise runs it

@@ -12,13 +12,15 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // RunScenario builds and runs a single scenario. With Options.Cache set
 // (and no runtime overrides attached) the result is served from the
 // content-addressed store when present, bit-identical to a fresh run.
 func RunScenario(sc Scenario, opts Options) (*Result, error) {
-	if cacheable(opts) {
+	if cacheable(sc, opts) {
 		return runCached(sc, opts)
 	}
 	s, err := Build(sc, opts)
@@ -67,6 +69,17 @@ func (r Runner) Run(base Scenario, shards int) ([]*Result, error) {
 		workers = shards
 	}
 	results := make([]*Result, shards)
+	// When the caller attached a telemetry sink, each shard streams into
+	// its own in-memory buffer; the per-shard exports are merged in shard
+	// order after the pool drains, so the bytes reaching the caller's
+	// sink are deterministic no matter how the workers interleaved.
+	var telBufs []*telemetry.Buffer
+	if base.Telemetry.Enabled() && r.Options.Telemetry != nil {
+		telBufs = make([]*telemetry.Buffer, shards)
+		for i := range telBufs {
+			telBufs[i] = telemetry.NewBuffer()
+		}
+	}
 	var (
 		mu      sync.Mutex
 		failIdx = shards // lowest failing shard index so far
@@ -91,7 +104,11 @@ func (r Runner) Run(base Scenario, shards int) ([]*Result, error) {
 					// goroutine scheduling.
 					continue
 				}
-				res, err := RunScenario(Shard(base, i), r.Options)
+				opts := r.Options
+				if telBufs != nil {
+					opts.Telemetry = telBufs[i]
+				}
+				res, err := RunScenario(Shard(base, i), opts)
 				if err != nil {
 					mu.Lock()
 					if i < failIdx {
@@ -111,6 +128,15 @@ func (r Runner) Run(base Scenario, shards int) ([]*Result, error) {
 	wg.Wait()
 	if failErr != nil {
 		return nil, fmt.Errorf("sim: shard %d (seed %d): %w", failIdx, base.Seed+int64(failIdx), failErr)
+	}
+	if telBufs != nil {
+		merged, err := telemetry.Merge(telBufs)
+		if err != nil {
+			return nil, fmt.Errorf("sim: merge shard telemetry: %w", err)
+		}
+		if err := merged.WriteTo(r.Options.Telemetry); err != nil {
+			return nil, fmt.Errorf("sim: write merged telemetry: %w", err)
+		}
 	}
 	return results, nil
 }

@@ -132,6 +132,20 @@ type TraceSpec struct {
 	Capacity int `json:"capacity,omitempty"`
 }
 
+// TelemetrySpec enables sim-time sampled telemetry for the run. The
+// zero value disables telemetry entirely.
+type TelemetrySpec struct {
+	// Interval is the sim-time sampling period; a positive value enables
+	// telemetry, zero disables it.
+	Interval Duration `json:"interval,omitempty"`
+	// Metrics restricts the registered instruments to the named subset
+	// (see TelemetryMetricNames for the catalog); empty registers all.
+	Metrics []string `json:"metrics,omitempty"`
+}
+
+// Enabled reports whether the spec turns telemetry on.
+func (t TelemetrySpec) Enabled() bool { return t.Interval > 0 }
+
 // Scenario is the declarative description of one simulation run. It is
 // the JSON contract of `netsim -scenario` and the unit the sharded
 // Runner fans out; every field is serializable, so a scenario file plus
@@ -158,6 +172,8 @@ type Scenario struct {
 	PHY       PHYSpec      `json:"phy,omitempty"`
 	Ablations AblationSpec `json:"ablations,omitempty"`
 	Trace     TraceSpec    `json:"trace,omitempty"`
+	// Telemetry enables sim-time sampled metrics and streaming export.
+	Telemetry TelemetrySpec `json:"telemetry,omitempty"`
 	// SampleDelays reservoir-samples per-packet delays of the inner
 	// nodes so the Result carries delay percentiles, not just means.
 	SampleDelays bool `json:"sampleDelays,omitempty"`
@@ -172,17 +188,19 @@ func (sc Scenario) ResolvedScheme() (core.Scheme, error) {
 
 // Validate checks the scenario against the registries and parameter
 // ranges. It is called by Build, but cheap enough to run up front when
-// loading user-supplied files.
+// loading user-supplied files. Error messages name the offending field
+// by its JSON path ("sim: topology.n: must be at least 2, ..."), so a
+// bad hand-written file points straight at the line to fix.
 func (sc Scenario) Validate() error {
 	scheme, err := sc.ResolvedScheme()
 	if err != nil {
 		return err
 	}
 	if scheme != core.ORTSOCTS && (sc.BeamwidthDeg <= 0 || sc.BeamwidthDeg > 360) {
-		return fmt.Errorf("sim: beamwidth must be in (0, 360] degrees, got %v", sc.BeamwidthDeg)
+		return fmt.Errorf("sim: beamwidthDeg: must be in (0, 360] degrees for directional schemes, got %v", sc.BeamwidthDeg)
 	}
 	if sc.Duration <= 0 {
-		return fmt.Errorf("sim: duration must be positive, got %v", sc.Duration)
+		return fmt.Errorf("sim: duration: must be positive, got %v", sc.Duration)
 	}
 	if err := sc.validateTopology(); err != nil {
 		return err
@@ -196,15 +214,15 @@ func (sc Scenario) Validate() error {
 	switch sc.Trace.Kind {
 	case "", "none", "recorder":
 	default:
-		return fmt.Errorf("sim: unknown trace sink %q (want \"recorder\" or \"none\")", sc.Trace.Kind)
+		return fmt.Errorf("sim: trace.kind: unknown trace sink %q (want \"recorder\" or \"none\")", sc.Trace.Kind)
 	}
 	if sc.Trace.Capacity < 0 {
-		return fmt.Errorf("sim: trace capacity must be non-negative, got %d", sc.Trace.Capacity)
+		return fmt.Errorf("sim: trace.capacity: must be non-negative, got %d", sc.Trace.Capacity)
 	}
 	if sc.Ablations.AdaptiveRTS < 0 {
-		return fmt.Errorf("sim: adaptiveRTS must be non-negative, got %v", sc.Ablations.AdaptiveRTS)
+		return fmt.Errorf("sim: ablations.adaptiveRTS: must be non-negative, got %v", sc.Ablations.AdaptiveRTS)
 	}
-	return nil
+	return sc.validateTelemetry()
 }
 
 func (sc Scenario) validateTopology() error {
@@ -213,27 +231,27 @@ func (sc Scenario) validateTopology() error {
 		kind = "rings"
 	}
 	if _, ok := lookupTopology(kind); !ok {
-		return fmt.Errorf("sim: unknown topology kind %q (registered: %v)", kind, TopologyKinds())
+		return fmt.Errorf("sim: topology.kind: unknown topology kind %q (registered: %v)", kind, TopologyKinds())
 	}
 	if sc.Topology.N < 2 {
-		return fmt.Errorf("sim: topology n must be at least 2, got %d", sc.Topology.N)
+		return fmt.Errorf("sim: topology.n: must be at least 2, got %d", sc.Topology.N)
 	}
 	if sc.Topology.Radius < 0 {
-		return fmt.Errorf("sim: topology radius must be non-negative, got %v", sc.Topology.Radius)
+		return fmt.Errorf("sim: topology.radius: must be non-negative, got %v", sc.Topology.Radius)
 	}
 	if sc.Topology.Rings < 0 {
-		return fmt.Errorf("sim: topology rings must be non-negative, got %d", sc.Topology.Rings)
+		return fmt.Errorf("sim: topology.rings: must be non-negative, got %d", sc.Topology.Rings)
 	}
 	if kind == "explicit" {
 		if len(sc.Topology.Positions) == 0 {
-			return fmt.Errorf("sim: explicit topology needs positions")
+			return fmt.Errorf("sim: topology.positions: explicit topology needs positions")
 		}
 		if sc.Topology.N > len(sc.Topology.Positions) {
-			return fmt.Errorf("sim: explicit topology has %d positions but n=%d measured nodes",
+			return fmt.Errorf("sim: topology.positions: has %d entries but topology.n=%d measured nodes",
 				len(sc.Topology.Positions), sc.Topology.N)
 		}
 	} else if len(sc.Topology.Positions) > 0 {
-		return fmt.Errorf("sim: topology kind %q does not take explicit positions", kind)
+		return fmt.Errorf("sim: topology.positions: kind %q does not take explicit positions", kind)
 	}
 	return nil
 }
@@ -244,19 +262,19 @@ func (sc Scenario) validateTraffic() error {
 		kind = "saturated"
 	}
 	if _, ok := lookupTraffic(kind); !ok {
-		return fmt.Errorf("sim: unknown traffic kind %q (registered: %v)", kind, TrafficKinds())
+		return fmt.Errorf("sim: traffic.kind: unknown traffic kind %q (registered: %v)", kind, TrafficKinds())
 	}
 	if sc.Traffic.PacketBytes < 0 {
-		return fmt.Errorf("sim: packetBytes must be non-negative, got %d", sc.Traffic.PacketBytes)
+		return fmt.Errorf("sim: traffic.packetBytes: must be non-negative, got %d", sc.Traffic.PacketBytes)
 	}
 	if sc.Traffic.QueueCap < 0 {
-		return fmt.Errorf("sim: queueCap must be non-negative, got %d", sc.Traffic.QueueCap)
+		return fmt.Errorf("sim: traffic.queueCap: must be non-negative, got %d", sc.Traffic.QueueCap)
 	}
 	if kind == "cbr" && sc.Traffic.OfferedLoadBps <= 0 {
-		return fmt.Errorf("sim: cbr traffic needs a positive offeredLoadBps, got %v", sc.Traffic.OfferedLoadBps)
+		return fmt.Errorf("sim: traffic.offeredLoadBps: cbr traffic needs a positive load, got %v", sc.Traffic.OfferedLoadBps)
 	}
 	if kind != "cbr" && sc.Traffic.OfferedLoadBps != 0 {
-		return fmt.Errorf("sim: offeredLoadBps is only meaningful for cbr traffic, got kind %q", kind)
+		return fmt.Errorf("sim: traffic.offeredLoadBps: only meaningful for cbr traffic, got kind %q", kind)
 	}
 	return nil
 }
@@ -265,17 +283,32 @@ func (sc Scenario) validateMobility() error {
 	switch sc.Mobility.Kind {
 	case "", "none":
 		if sc.Mobility.MaxSpeed != 0 {
-			return fmt.Errorf("sim: maxSpeed set but mobility kind is %q; use kind \"waypoint\"", sc.Mobility.Kind)
+			return fmt.Errorf("sim: mobility.maxSpeed: set but mobility kind is %q; use kind \"waypoint\"", sc.Mobility.Kind)
 		}
 	case "waypoint":
 		if sc.Mobility.MaxSpeed <= 0 {
-			return fmt.Errorf("sim: waypoint mobility needs a positive maxSpeed, got %v", sc.Mobility.MaxSpeed)
+			return fmt.Errorf("sim: mobility.maxSpeed: waypoint mobility needs a positive speed, got %v", sc.Mobility.MaxSpeed)
 		}
 	default:
-		return fmt.Errorf("sim: unknown mobility kind %q (want \"waypoint\" or \"none\")", sc.Mobility.Kind)
+		return fmt.Errorf("sim: mobility.kind: unknown mobility kind %q (want \"waypoint\" or \"none\")", sc.Mobility.Kind)
 	}
 	if sc.Mobility.RefreshInterval < 0 {
-		return fmt.Errorf("sim: refreshInterval must be non-negative, got %v", sc.Mobility.RefreshInterval)
+		return fmt.Errorf("sim: mobility.refreshInterval: must be non-negative, got %v", sc.Mobility.RefreshInterval)
+	}
+	return nil
+}
+
+func (sc Scenario) validateTelemetry() error {
+	if sc.Telemetry.Interval < 0 {
+		return fmt.Errorf("sim: telemetry.interval: not a positive duration, got %v", sc.Telemetry.Interval)
+	}
+	if len(sc.Telemetry.Metrics) > 0 && sc.Telemetry.Interval == 0 {
+		return fmt.Errorf("sim: telemetry.metrics: set but telemetry.interval is zero (telemetry disabled)")
+	}
+	for _, name := range sc.Telemetry.Metrics {
+		if !knownTelemetryMetric(name) {
+			return fmt.Errorf("sim: telemetry.metrics: unknown metric %q (registered: %v)", name, TelemetryMetricNames())
+		}
 	}
 	return nil
 }

@@ -133,22 +133,28 @@ func TestValidateErrors(t *testing.T) {
 		want   string
 	}{
 		{"unknown scheme", func(sc *Scenario) { sc.Scheme = "QRTS" }, "unknown scheme"},
-		{"zero beamwidth", func(sc *Scenario) { sc.BeamwidthDeg = 0 }, "beamwidth"},
-		{"beamwidth over 360", func(sc *Scenario) { sc.BeamwidthDeg = 400 }, "beamwidth"},
-		{"zero duration", func(sc *Scenario) { sc.Duration = 0 }, "duration"},
-		{"unknown topology", func(sc *Scenario) { sc.Topology.Kind = "mystery" }, "topology kind"},
-		{"n too small", func(sc *Scenario) { sc.Topology.N = 1 }, "n must be"},
-		{"negative radius", func(sc *Scenario) { sc.Topology.Radius = -1 }, "radius"},
-		{"explicit without positions", func(sc *Scenario) { sc.Topology.Kind = "explicit" }, "positions"},
-		{"positions on rings", func(sc *Scenario) { sc.Topology.Positions = make([]geom.Point, 2) }, "explicit positions"},
-		{"unknown traffic", func(sc *Scenario) { sc.Traffic.Kind = "burst" }, "traffic kind"},
-		{"cbr without load", func(sc *Scenario) { sc.Traffic.Kind = "cbr" }, "offeredLoadBps"},
-		{"load without cbr", func(sc *Scenario) { sc.Traffic.OfferedLoadBps = 1e6 }, "offeredLoadBps"},
-		{"unknown mobility", func(sc *Scenario) { sc.Mobility.Kind = "teleport" }, "mobility"},
-		{"waypoint without speed", func(sc *Scenario) { sc.Mobility.Kind = "waypoint" }, "maxSpeed"},
-		{"speed without waypoint", func(sc *Scenario) { sc.Mobility.MaxSpeed = 2 }, "maxSpeed"},
-		{"unknown trace", func(sc *Scenario) { sc.Trace.Kind = "pcap" }, "trace sink"},
-		{"negative adaptive rts", func(sc *Scenario) { sc.Ablations.AdaptiveRTS = -1 }, "adaptiveRTS"},
+		{"zero beamwidth", func(sc *Scenario) { sc.BeamwidthDeg = 0 }, "beamwidthDeg"},
+		{"beamwidth over 360", func(sc *Scenario) { sc.BeamwidthDeg = 400 }, "beamwidthDeg"},
+		{"zero duration", func(sc *Scenario) { sc.Duration = 0 }, "duration: must be positive"},
+		{"unknown topology", func(sc *Scenario) { sc.Topology.Kind = "mystery" }, "topology.kind"},
+		{"n too small", func(sc *Scenario) { sc.Topology.N = 1 }, "topology.n"},
+		{"negative radius", func(sc *Scenario) { sc.Topology.Radius = -1 }, "topology.radius"},
+		{"explicit without positions", func(sc *Scenario) { sc.Topology.Kind = "explicit" }, "topology.positions"},
+		{"positions on rings", func(sc *Scenario) { sc.Topology.Positions = make([]geom.Point, 2) }, "topology.positions"},
+		{"unknown traffic", func(sc *Scenario) { sc.Traffic.Kind = "burst" }, "traffic.kind"},
+		{"cbr without load", func(sc *Scenario) { sc.Traffic.Kind = "cbr" }, "traffic.offeredLoadBps"},
+		{"load without cbr", func(sc *Scenario) { sc.Traffic.OfferedLoadBps = 1e6 }, "traffic.offeredLoadBps"},
+		{"unknown mobility", func(sc *Scenario) { sc.Mobility.Kind = "teleport" }, "mobility.kind"},
+		{"waypoint without speed", func(sc *Scenario) { sc.Mobility.Kind = "waypoint" }, "mobility.maxSpeed"},
+		{"speed without waypoint", func(sc *Scenario) { sc.Mobility.MaxSpeed = 2 }, "mobility.maxSpeed"},
+		{"unknown trace", func(sc *Scenario) { sc.Trace.Kind = "pcap" }, "trace.kind"},
+		{"negative adaptive rts", func(sc *Scenario) { sc.Ablations.AdaptiveRTS = -1 }, "ablations.adaptiveRTS"},
+		{"negative telemetry interval", func(sc *Scenario) { sc.Telemetry.Interval = -1 }, "telemetry.interval"},
+		{"metrics without interval", func(sc *Scenario) { sc.Telemetry.Metrics = []string{"mac/cw"} }, "telemetry.metrics"},
+		{"unknown telemetry metric", func(sc *Scenario) {
+			sc.Telemetry.Interval = Duration(10 * 1e6)
+			sc.Telemetry.Metrics = []string{"mac/unheard-of"}
+		}, "telemetry.metrics"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

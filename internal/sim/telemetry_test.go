@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/telemetry"
+)
+
+// telemetryScenario loads the telemetry-enabled testdata scenario.
+func telemetryScenario(t *testing.T) Scenario {
+	t.Helper()
+	sc, err := LoadScenario(filepath.Join("testdata", "telemetry-trajectory.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// resultJSON renders a Result canonically; byte equality is
+// bit-equality of every float.
+func resultJSON(t *testing.T, r *Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestTelemetryLeavesResultsIdentical is the determinism half of the
+// telemetry contract: enabling sampling must not change the simulation
+// in any bit — the probe reads state and consumes no randomness.
+func TestTelemetryLeavesResultsIdentical(t *testing.T) {
+	sc := telemetryScenario(t)
+	plain := sc
+	plain.Telemetry = TelemetrySpec{}
+	want, err := RunScenario(plain, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunScenario(sc, Options{Telemetry: telemetry.Discard{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resultJSON(t, got), resultJSON(t, want)) {
+		t.Error("enabling telemetry changed the simulation result")
+	}
+}
+
+// TestTelemetryExportByteIdentical runs the same scenario twice and
+// requires byte-identical JSONL exports.
+func TestTelemetryExportByteIdentical(t *testing.T) {
+	sc := telemetryScenario(t)
+	run := func() []byte {
+		var buf bytes.Buffer
+		w := telemetry.NewWriter(&buf)
+		if _, err := RunScenario(sc, Options{Telemetry: w}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("empty export")
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two runs of the same scenario produced different exports")
+	}
+}
+
+// TestTelemetryFinalAggMatchesResult pins the bit-exactness contract:
+// the last aggregate record reproduces the run's end-of-run metrics
+// with zero tolerance.
+func TestTelemetryFinalAggMatchesResult(t *testing.T) {
+	sc := telemetryScenario(t)
+	buf := telemetry.NewBuffer()
+	res, err := RunScenario(sc, Options{Telemetry: buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last *telemetry.Record
+	for i := range buf.Records() {
+		if buf.Records()[i].Kind == telemetry.KindAgg {
+			last = &buf.Records()[i]
+		}
+	}
+	if last == nil {
+		t.Fatal("no aggregate records in export")
+	}
+	if last.T != int64(sc.Duration) {
+		t.Errorf("final agg at t=%d, want %d", last.T, int64(sc.Duration))
+	}
+	if last.CumThroughputBps != res.MeanThroughputBps() {
+		t.Errorf("final agg cumThroughputBps = %v, result mean = %v", last.CumThroughputBps, res.MeanThroughputBps())
+	}
+	if last.CollisionRatio != res.MeanCollisionRatio() {
+		t.Errorf("final agg collisionRatio = %v, result mean = %v", last.CollisionRatio, res.MeanCollisionRatio())
+	}
+	if last.Jain != res.Jain {
+		t.Errorf("final agg jain = %v, result = %v", last.Jain, res.Jain)
+	}
+	// Per-node cumulative throughput must also match exactly.
+	nodeCums := make(map[int]float64)
+	for _, r := range buf.Records() {
+		if r.Kind == telemetry.KindNode && r.T == int64(sc.Duration) {
+			nodeCums[r.Node] = r.CumThroughputBps
+		}
+	}
+	for i, tp := range res.ThroughputBps {
+		if nodeCums[i] != tp {
+			t.Errorf("node %d final cum throughput = %v, result = %v", i, nodeCums[i], tp)
+		}
+	}
+}
+
+// TestTelemetrySampleCount checks the trajectory shape: one node record
+// per inner node per tick plus one aggregate per tick, interval-aligned.
+func TestTelemetrySampleCount(t *testing.T) {
+	sc := telemetryScenario(t)
+	s, err := Build(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Telemetry == nil {
+		t.Fatal("Build did not expose a telemetry buffer for a sink-less run")
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ticks := int64(sc.Duration) / int64(sc.Telemetry.Interval)
+	var aggs, nodes int64
+	for _, r := range s.Telemetry.Records() {
+		switch r.Kind {
+		case telemetry.KindAgg:
+			aggs++
+		case telemetry.KindNode:
+			nodes++
+		}
+	}
+	if aggs != ticks {
+		t.Errorf("got %d aggregate samples, want %d", aggs, ticks)
+	}
+	if want := ticks * int64(s.Topology.InnerCount()); nodes != want {
+		t.Errorf("got %d node samples, want %d", nodes, want)
+	}
+	h := s.Telemetry.Header()
+	if h.IntervalNs != int64(sc.Telemetry.Interval) || h.DurationNs != int64(sc.Duration) {
+		t.Errorf("header timing = %+v", h)
+	}
+	if len(h.Metrics) != len(TelemetryMetricNames()) {
+		t.Errorf("header metrics = %v, want full catalog", h.Metrics)
+	}
+}
+
+// TestTelemetryMetricsFilter restricts the catalog and checks that only
+// the selected instruments are registered and exported.
+func TestTelemetryMetricsFilter(t *testing.T) {
+	sc := telemetryScenario(t)
+	sc.Telemetry.Metrics = []string{MetricTxFrames, MetricCW}
+	buf := telemetry.NewBuffer()
+	if _, err := RunScenario(sc, Options{Telemetry: buf}); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, r := range buf.Records() {
+		switch r.Kind {
+		case telemetry.KindCounter, telemetry.KindGauge, telemetry.KindHist:
+			names = append(names, r.Name)
+		}
+	}
+	// Catalog order, not filter order: mac/cw precedes phy/tx-frames.
+	want := []string{MetricCW, MetricTxFrames}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("exported metrics = %v, want %v", names, want)
+	}
+	if got := buf.Header().Metrics; !reflect.DeepEqual(got, want) {
+		t.Errorf("header metrics = %v, want %v", got, want)
+	}
+}
+
+// TestTelemetryBypassesCache: a telemetry-enabled scenario must never be
+// served from the result cache — the export is a side effect a cached
+// Result cannot replay.
+func TestTelemetryBypassesCache(t *testing.T) {
+	store, err := cache.NewStore(t.TempDir(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := telemetryScenario(t)
+	if cacheable(sc, Options{Cache: store}) {
+		t.Error("telemetry-enabled scenario reported cacheable")
+	}
+	// Behavior check: two runs with the same cache both stream records.
+	for i := 0; i < 2; i++ {
+		buf := telemetry.NewBuffer()
+		if _, err := RunScenario(sc, Options{Cache: store, Telemetry: buf}); err != nil {
+			t.Fatal(err)
+		}
+		if len(buf.Records()) == 0 {
+			t.Fatalf("run %d produced no telemetry records (served from cache?)", i)
+		}
+	}
+}
+
+// TestRunnerTelemetryMerge: the sharded runner's merged export must be
+// byte-equivalent to merging individually-run shard exports in shard
+// order.
+func TestRunnerTelemetryMerge(t *testing.T) {
+	sc := telemetryScenario(t)
+	const shards = 3
+
+	got := telemetry.NewBuffer()
+	runner := Runner{Workers: 2, Options: Options{Telemetry: got}}
+	if _, err := runner.Run(sc, shards); err != nil {
+		t.Fatal(err)
+	}
+
+	bufs := make([]*telemetry.Buffer, shards)
+	for i := range bufs {
+		bufs[i] = telemetry.NewBuffer()
+		if _, err := RunScenario(Shard(sc, i), Options{Telemetry: bufs[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := telemetry.Merge(bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Header(), want.Header()) {
+		t.Errorf("merged header = %+v, want %+v", got.Header(), want.Header())
+	}
+	if !reflect.DeepEqual(got.Records(), want.Records()) {
+		t.Error("runner-merged records differ from shard-order manual merge")
+	}
+	if got.Header().Shards != shards {
+		t.Errorf("merged header shards = %d, want %d", got.Header().Shards, shards)
+	}
+}

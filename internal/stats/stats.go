@@ -162,6 +162,10 @@ func (r *Reservoir) Percentile(p float64) float64 {
 	return Percentile(r.sample, p)
 }
 
+// Jain returns Jain's fairness index for the given allocations; it is
+// the short name for JainIndex.
+func Jain(xs []float64) float64 { return JainIndex(xs) }
+
 // JainIndex returns Jain's fairness index (Σx)²/(n·Σx²) for the given
 // allocations: 1.0 when all shares are equal, approaching 1/n when one
 // node monopolizes the resource. An empty or all-zero input returns 1

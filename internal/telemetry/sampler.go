@@ -1,0 +1,80 @@
+package telemetry
+
+// The probe scheduler. Sampling is an event on the simulation's own
+// scheduler: ticks fire at start+i·interval in sim time, so the series
+// is bit-identical across runs and completely independent of wall
+// clock. A tick only *reads* simulation state — it must consume no
+// randomness and mutate nothing the protocol observes — which is what
+// keeps telemetry-enabled runs result-identical to disabled ones (the
+// kernel-determinism goldens enforce this).
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// Probe is called at every sample tick with the current sim time. It
+// must not perturb the simulation: read state, write records, nothing
+// else.
+type Probe func(now des.Time)
+
+// Sampler drives a Probe at a fixed sim-time interval.
+type Sampler struct {
+	sched    *des.Scheduler
+	interval des.Time
+	probe    Probe
+	tickFn   func() // pre-bound: rescheduling allocates no closure
+	last     des.Time
+	started  bool
+}
+
+// NewSampler creates a sampler; interval must be positive.
+func NewSampler(sched *des.Scheduler, interval des.Time, probe Probe) (*Sampler, error) {
+	if sched == nil || probe == nil {
+		return nil, fmt.Errorf("telemetry: sampler needs a scheduler and a probe")
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("telemetry: sample interval must be positive, got %v", interval)
+	}
+	s := &Sampler{sched: sched, interval: interval, probe: probe}
+	s.tickFn = s.tick
+	return s, nil
+}
+
+// Start schedules the first tick one interval from now. Call once, at
+// the start of measurement.
+func (s *Sampler) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.last = s.sched.Now()
+	s.sched.Schedule(s.interval, s.tickFn)
+}
+
+// tick samples and reschedules. The trailing reschedule is harmless at
+// the end of a run: the scheduler simply never reaches it.
+func (s *Sampler) tick() {
+	s.last = s.sched.Now()
+	s.probe(s.last)
+	s.sched.Schedule(s.interval, s.tickFn)
+}
+
+// Flush emits a final sample at the current sim time if the last tick
+// happened earlier — the run's duration need not be a multiple of the
+// interval, and the end-of-run state must always be captured (it is
+// what reproduces the end-of-run aggregates exactly).
+func (s *Sampler) Flush() {
+	if !s.started {
+		return
+	}
+	if now := s.sched.Now(); now > s.last {
+		s.last = now
+		s.probe(now)
+	}
+}
+
+// LastSample returns the sim time of the most recent sample (the start
+// time before any tick has fired).
+func (s *Sampler) LastSample() des.Time { return s.last }

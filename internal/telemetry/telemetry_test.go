@@ -1,0 +1,377 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/des"
+)
+
+func TestNilMetricsNoOp(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	if got := c.Value(); got != 0 {
+		t.Errorf("nil counter Value = %d, want 0", got)
+	}
+	var g *Gauge
+	g.Set(3.5)
+	if got := g.Value(); got != 0 {
+		t.Errorf("nil gauge Value = %v, want 0", got)
+	}
+	var h *Histogram
+	h.Observe(1)
+	if got := h.Snapshot(); got != nil {
+		t.Errorf("nil histogram Snapshot = %v, want nil", got)
+	}
+}
+
+func TestNilRegistryLookups(t *testing.T) {
+	var r *Registry
+	if c, err := r.Counter("x"); c != nil || err != nil {
+		t.Errorf("nil registry Counter = (%v, %v), want (nil, nil)", c, err)
+	}
+	if g, err := r.Gauge("x"); g != nil || err != nil {
+		t.Errorf("nil registry Gauge = (%v, %v), want (nil, nil)", g, err)
+	}
+	if h, err := r.Histogram("x", []float64{1}); h != nil || err != nil {
+		t.Errorf("nil registry Histogram = (%v, %v), want (nil, nil)", h, err)
+	}
+	if names := r.Names(); names != nil {
+		t.Errorf("nil registry Names = %v, want nil", names)
+	}
+	if err := r.WriteMetrics(Discard{}, 0, nil); err != nil {
+		t.Errorf("nil registry WriteMetrics error: %v", err)
+	}
+}
+
+func TestRegistryOrderAndIdempotence(t *testing.T) {
+	r := NewRegistry()
+	c1, err := r.Counter("phy/tx-frames")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Histogram("mac/backoff-slots", []float64{1, 2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Gauge("mac/cw"); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := r.Counter("phy/tx-frames")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("re-registering a counter returned a different pointer")
+	}
+	want := []string{"phy/tx-frames", "mac/backoff-slots", "mac/cw"}
+	got := r.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRegistryKindClash(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Counter("m"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Gauge("m"); err == nil {
+		t.Error("registering gauge over counter: want error")
+	}
+	if _, err := r.Histogram("m", []float64{1}); err == nil {
+		t.Error("registering histogram over counter: want error")
+	}
+	if _, err := r.Histogram("h", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Histogram("h", []float64{1, 3}); err == nil {
+		t.Error("re-registering histogram with different bounds: want error")
+	}
+	if _, err := r.Histogram("h", []float64{1, 2}); err != nil {
+		t.Errorf("re-registering histogram with same bounds: %v", err)
+	}
+	if _, err := r.Histogram("bad", nil); err == nil {
+		t.Error("histogram with no bounds: want error")
+	}
+}
+
+func TestWriteMetricsFilterAndOrder(t *testing.T) {
+	r := NewRegistry()
+	c, _ := r.Counter("a")
+	c.Add(3)
+	g, _ := r.Gauge("b")
+	g.Set(2.5)
+	h, _ := r.Histogram("c", []float64{10, 20})
+	h.Observe(5)
+	h.Observe(25)
+
+	buf := NewBuffer()
+	// Filter order is deliberately reversed: output must still follow
+	// registration order.
+	if err := r.WriteMetrics(buf, 42, []string{"c", "a"}); err != nil {
+		t.Fatal(err)
+	}
+	recs := buf.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].Name != "a" || recs[0].Kind != KindCounter || recs[0].Count != 3 || recs[0].T != 42 {
+		t.Errorf("record 0 = %+v", recs[0])
+	}
+	if recs[1].Name != "c" || recs[1].Kind != KindHist || recs[1].Count != 2 || recs[1].Sum != 30 {
+		t.Errorf("record 1 = %+v", recs[1])
+	}
+	if len(recs[1].Bounds) != 2 || len(recs[1].Counts) != 3 {
+		t.Errorf("record 1 layout = %d bounds / %d counts", len(recs[1].Bounds), len(recs[1].Counts))
+	}
+	if recs[1].Counts[0] != 1 || recs[1].Counts[1] != 0 || recs[1].Counts[2] != 1 {
+		t.Errorf("record 1 counts = %v", recs[1].Counts)
+	}
+}
+
+func TestSamplerTicksAndFlush(t *testing.T) {
+	sched := des.New(1)
+	var ticks []des.Time
+	s, err := NewSampler(sched, 10*des.Millisecond, func(now des.Time) {
+		ticks = append(ticks, now)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	s.Start() // second Start is a no-op
+	sched.Run(35 * des.Millisecond)
+	s.Flush()
+	want := []des.Time{10 * des.Millisecond, 20 * des.Millisecond, 30 * des.Millisecond, 35 * des.Millisecond}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+	// Flush at a tick boundary must not double-sample.
+	s.Flush()
+	if len(ticks) != len(want) {
+		t.Errorf("second Flush added a sample: %v", ticks)
+	}
+	if s.LastSample() != 35*des.Millisecond {
+		t.Errorf("LastSample = %v", s.LastSample())
+	}
+}
+
+func TestSamplerValidation(t *testing.T) {
+	sched := des.New(1)
+	if _, err := NewSampler(nil, des.Millisecond, func(des.Time) {}); err == nil {
+		t.Error("nil scheduler: want error")
+	}
+	if _, err := NewSampler(sched, des.Millisecond, nil); err == nil {
+		t.Error("nil probe: want error")
+	}
+	if _, err := NewSampler(sched, 0, func(des.Time) {}); err == nil {
+		t.Error("zero interval: want error")
+	}
+}
+
+func sampleExport() (*Buffer, error) {
+	b := NewBuffer()
+	if err := b.WriteHeader(Header{
+		Scenario: "t", Scheme: "drts-dcts", Seed: 7,
+		Nodes: 45, InnerNodes: 5,
+		IntervalNs: 10_000_000, DurationNs: 30_000_000,
+		Metrics: []string{"a"},
+	}); err != nil {
+		return nil, err
+	}
+	recs := []Record{
+		{Kind: KindNode, T: 10_000_000, Node: 0, ThroughputBps: 1000, CumThroughputBps: 1000, BitsAcked: 10},
+		{Kind: KindAgg, T: 10_000_000, Node: -1, ThroughputBps: 1000, CumThroughputBps: 1000, CollisionRatio: 0.25, Jain: 1},
+		{Kind: KindCounter, T: 30_000_000, Node: 0, Name: "a", Count: 5},
+	}
+	for _, r := range recs {
+		if err := b.WriteRecord(r); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func TestWriterBufferReadAllRoundTrip(t *testing.T) {
+	b, err := sampleExport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	w := NewWriter(&out)
+	if err := b.WriteTo(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "\n"); got != 4 {
+		t.Fatalf("export has %d lines, want 4:\n%s", got, out.String())
+	}
+
+	// Byte determinism: a second serialization is identical.
+	var out2 bytes.Buffer
+	w2 := NewWriter(&out2)
+	if err := b.WriteTo(w2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+		t.Error("two serializations of the same export differ")
+	}
+
+	h, recs, err := ReadAll(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Format != FormatV1 {
+		t.Errorf("Format = %q", h.Format)
+	}
+	if h.Seed != 7 || h.Nodes != 45 || h.InnerNodes != 5 || h.IntervalNs != 10_000_000 {
+		t.Errorf("header round trip = %+v", h)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[1].Kind != KindAgg || recs[1].CollisionRatio != 0.25 || recs[1].Jain != 1 || recs[1].Node != -1 {
+		t.Errorf("agg record round trip = %+v", recs[1])
+	}
+	if recs[2].Name != "a" || recs[2].Count != 5 {
+		t.Errorf("counter record round trip = %+v", recs[2])
+	}
+}
+
+func TestReadAllRejectsBadInput(t *testing.T) {
+	if _, _, err := ReadAll(strings.NewReader("")); err == nil {
+		t.Error("empty export: want error")
+	}
+	if _, _, err := ReadAll(strings.NewReader(`{"format":"other/v9"}` + "\n")); err == nil {
+		t.Error("unknown format: want error")
+	}
+	if _, _, err := ReadAll(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage header: want error")
+	}
+}
+
+func shardBuffer(t *testing.T, seed int64, tp, cum, coll, jain float64, count int64, counts []int64) *Buffer {
+	t.Helper()
+	b := NewBuffer()
+	if err := b.WriteHeader(Header{
+		Format: FormatV1, Scheme: "drts-dcts", Seed: seed,
+		Nodes: 45, InnerNodes: 5,
+		IntervalNs: 10_000_000, DurationNs: 20_000_000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Kind: KindNode, T: 10_000_000, Node: 0, ThroughputBps: 999},
+		{Kind: KindAgg, T: 10_000_000, Node: -1, ThroughputBps: tp, CumThroughputBps: cum, CollisionRatio: coll, Jain: jain},
+		{Kind: KindAgg, T: 20_000_000, Node: -1, ThroughputBps: tp * 2, CumThroughputBps: cum * 2, CollisionRatio: coll, Jain: jain},
+		{Kind: KindCounter, T: 20_000_000, Node: 0, Name: "phy/tx-frames", Count: count},
+		{Kind: KindGauge, T: 20_000_000, Node: 0, Name: "mac/cw", Value: float64(count)},
+		{Kind: KindHist, T: 20_000_000, Node: 0, Name: "mac/backoff-slots",
+			Bounds: []float64{1, 2}, Counts: counts, Count: counts[0] + counts[1] + counts[2], Sum: float64(count)},
+	}
+	for _, r := range recs {
+		if err := b.WriteRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func TestMergeHandValues(t *testing.T) {
+	s0 := shardBuffer(t, 7, 1000, 1000, 0.25, 0.9, 10, []int64{1, 2, 3})
+	s1 := shardBuffer(t, 8, 3000, 2000, 0.75, 0.7, 30, []int64{4, 5, 6})
+	m, err := Merge([]*Buffer{s0, s1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.Header()
+	if h.Shards != 2 || h.Seed != 7 {
+		t.Errorf("merged header = %+v", h)
+	}
+	recs := m.Records()
+	// 2 agg samples + 3 metric records; node records dropped.
+	if len(recs) != 5 {
+		t.Fatalf("got %d merged records, want 5: %+v", len(recs), recs)
+	}
+	a := recs[0]
+	if a.Kind != KindAgg || a.T != 10_000_000 || a.ThroughputBps != 2000 || a.CumThroughputBps != 1500 {
+		t.Errorf("merged agg[0] = %+v", a)
+	}
+	if a.CollisionRatio != 0.5 || a.Jain != 0.8 {
+		t.Errorf("merged agg[0] ratios = %+v", a)
+	}
+	if recs[1].T != 20_000_000 || recs[1].ThroughputBps != 4000 {
+		t.Errorf("merged agg[1] = %+v", recs[1])
+	}
+	if c := recs[2]; c.Kind != KindCounter || c.Count != 40 {
+		t.Errorf("merged counter = %+v", c)
+	}
+	if g := recs[3]; g.Kind != KindGauge || g.Value != 20 {
+		t.Errorf("merged gauge = %+v", g)
+	}
+	hr := recs[4]
+	if hr.Kind != KindHist || hr.Count != 21 || hr.Sum != 40 {
+		t.Errorf("merged hist = %+v", hr)
+	}
+	if hr.Counts[0] != 5 || hr.Counts[1] != 7 || hr.Counts[2] != 9 {
+		t.Errorf("merged hist counts = %v", hr.Counts)
+	}
+	// Shard 0's record must not have been mutated by the merge.
+	if c0 := s0.Records()[5].Counts; c0[0] != 1 || c0[1] != 2 || c0[2] != 3 {
+		t.Errorf("merge mutated shard 0 counts: %v", c0)
+	}
+}
+
+func TestMergeSingleShardIsIdentityOnAggregates(t *testing.T) {
+	s0 := shardBuffer(t, 7, 1000, 1000, 0.2, 0.9, 10, []int64{1, 2, 3})
+	m, err := Merge([]*Buffer{s0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := m.Records()
+	if len(recs) != 5 {
+		t.Fatalf("got %d records, want 5", len(recs))
+	}
+	if recs[0].ThroughputBps != 1000 || recs[0].Jain != 0.9 {
+		t.Errorf("single-shard merge changed agg values: %+v", recs[0])
+	}
+}
+
+func TestMergeRejectsMismatch(t *testing.T) {
+	if _, err := Merge(nil); err == nil {
+		t.Error("empty merge: want error")
+	}
+	s0 := shardBuffer(t, 7, 1000, 1000, 0.2, 0.9, 10, []int64{1, 2, 3})
+	s1 := shardBuffer(t, 8, 1000, 1000, 0.2, 0.9, 10, []int64{1, 2, 3})
+	s1.header.IntervalNs = 5_000_000
+	if _, err := Merge([]*Buffer{s0, s1}); err == nil {
+		t.Error("interval mismatch: want error")
+	}
+	s2 := shardBuffer(t, 8, 1000, 1000, 0.2, 0.9, 10, []int64{1, 2, 3})
+	s2.records = s2.records[:3] // drop a metric record
+	if _, err := Merge([]*Buffer{s0, s2}); err == nil {
+		t.Error("metric count mismatch: want error")
+	}
+	s3 := shardBuffer(t, 8, 1000, 1000, 0.2, 0.9, 10, []int64{1, 2, 3})
+	s3.records[5].Bounds = []float64{1, 3}
+	if _, err := Merge([]*Buffer{s0, s3}); err == nil {
+		t.Error("histogram bounds mismatch: want error")
+	}
+}
