@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build lint lint-extra test bench bench-smoke bench-compare fmt-check scenarios sweep-cached telemetry-smoke
+.PHONY: all build lint lint-extra test bench bench-smoke bench-compare fmt-check scenarios sweep-cached telemetry-smoke fastforward-smoke
 
 all: build lint test
 
@@ -68,6 +68,16 @@ telemetry-smoke:
 	$(GO) run ./cmd/simtrace summarize .telemetry-a.jsonl
 	$(GO) run ./cmd/simtrace filter -kind agg .telemetry-a.jsonl > /dev/null
 	rm -f .telemetry-a.jsonl .telemetry-b.jsonl
+
+# Fast-forward equivalence on the sparse showcase scenario: the analytic
+# idle-time skip must print byte-identical results to slot-by-slot
+# operation (DESIGN.md §12). The scenario is the one whose countdowns are
+# nearly all bulk jumps, so any settlement bug shows up here first.
+fastforward-smoke:
+	$(GO) run ./cmd/netsim -scenario internal/sim/testdata/fastforward-sparse.json > .ff-off.txt
+	$(GO) run ./cmd/netsim -scenario internal/sim/testdata/fastforward-sparse.json -fastforward > .ff-on.txt
+	cmp .ff-off.txt .ff-on.txt
+	rm -f .ff-off.txt .ff-on.txt
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

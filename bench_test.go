@@ -21,6 +21,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/numeric"
 	"repro/internal/phy"
+	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
 
@@ -441,6 +442,57 @@ func BenchmarkTelemetryOn(b *testing.B) {
 		cfg.TelemetryInterval = 10 * des.Millisecond
 		cfg.Telemetry = telemetry.Discard{}
 		if _, err := experiments.RunSim(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sparsePairBench is the fast-forward showcase scenario: a two-node
+// explicit pair under waypoint mobility with second-stale bearings, so
+// CTS timeouts ratchet the contention window to CWMax and nearly every
+// countdown crosses dead air as one bulk jump (DESIGN.md §12).
+func sparsePairBench(ff bool) sim.Scenario {
+	return sim.Scenario{
+		Scheme: "DRTS-DCTS", BeamwidthDeg: 30, Seed: 1,
+		Duration: sim.Duration(des.Second),
+		Topology: sim.TopologySpec{Kind: "explicit", N: 2,
+			Positions: []geom.Point{{X: 0, Y: 0}, {X: 0.5, Y: 0}}},
+		Traffic:     sim.TrafficSpec{Kind: "cbr", OfferedLoadBps: 500_000},
+		Mobility:    sim.MobilitySpec{Kind: "waypoint", MaxSpeed: 2, RefreshInterval: sim.Duration(des.Second)},
+		FastForward: ff,
+	}
+}
+
+// BenchmarkSimulationSecondSparse measures one simulated second of the
+// sparse pair with fast-forward enabled — the headline perf number for
+// the analytic idle-time skip. Compare BenchmarkFastForwardOff for the
+// slot-by-slot cost of the identical scenario.
+func BenchmarkSimulationSecondSparse(b *testing.B) {
+	sc := sparsePairBench(true)
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunScenario(sc, sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFastForwardOn / BenchmarkFastForwardOff are the paired
+// speedup gauge over the sparse scenario; results are bit-identical
+// between them (enforced by TestFastForwardDifferentialSparsePair), so
+// any ratio between their ns/op is pure kernel-event savings.
+func BenchmarkFastForwardOn(b *testing.B) {
+	sc := sparsePairBench(true)
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunScenario(sc, sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFastForwardOff(b *testing.B) {
+	sc := sparsePairBench(false)
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunScenario(sc, sim.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

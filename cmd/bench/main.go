@@ -28,9 +28,10 @@ import (
 )
 
 // hotPathBenchmarks is the default set: the event-kernel and channel
-// micro-benches, the end-to-end cost of one simulated second, the
-// analytical Fig. 5 sweep, and the result cache cold/warm pair.
-const hotPathBenchmarks = "^(BenchmarkScheduler|BenchmarkChannelBroadcast|BenchmarkSimulationSecond|BenchmarkFig5|BenchmarkScenarioCache|BenchmarkTelemetryOff|BenchmarkTelemetryOn)$"
+// micro-benches, the end-to-end cost of one simulated second (dense and
+// sparse), the analytical Fig. 5 sweep, the result cache cold/warm
+// pair, and the fast-forward on/off pair over the sparse scenario.
+const hotPathBenchmarks = "^(BenchmarkScheduler|BenchmarkChannelBroadcast|BenchmarkSimulationSecond|BenchmarkSimulationSecondSparse|BenchmarkFig5|BenchmarkScenarioCache|BenchmarkTelemetryOff|BenchmarkTelemetryOn|BenchmarkFastForwardOn|BenchmarkFastForwardOff)$"
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {

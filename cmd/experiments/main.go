@@ -64,6 +64,8 @@ func run(args []string) error {
 		cacheStats   = fs.Bool("cache-stats", false, "print cache hit/miss/eviction counters on exit (requires -cache)")
 		telPath      = fs.String("telemetry", "telemetry.jsonl", "output file for the trajectory study's JSONL export")
 		telInterval  = fs.Duration("telemetry-interval", 10*time.Millisecond, "sim-time sampling interval for the trajectory study")
+		fastForward  = fs.Bool("fastforward", false, "enable analytic idle-time skipping (bit-identical results, fewer kernel events)")
+		pruneMargin  = fs.Float64("prune", 0, "pre-sweep pruning margin in (0, 1]: skip grid cells whose Kai-Liew estimate falls below margin x the best at the same N (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +90,9 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+	}
+	if *fastForward {
+		baseCfg.FastForward = true
 	}
 	if *cacheDir != "" {
 		store, err := cache.NewStore(*cacheDir, 0)
@@ -271,9 +276,28 @@ func run(args []string) error {
 	ns, beams := experiments.PaperGrid()
 	fmt.Printf("running simulation grid: %d N × %d beamwidths × 3 schemes × %d topologies, %v each...\n\n",
 		len(ns), len(beams), *topos, baseCfg.Duration)
-	cells, err := experiments.RunGrid(baseCfg, core.Schemes(), ns, beams, *topos)
-	if err != nil {
-		return err
+	var cells []experiments.GridCell
+	var err error
+	if *pruneMargin > 0 {
+		var verdicts []experiments.PruneVerdict
+		cells, verdicts, err = experiments.RunGridPruned(baseCfg, core.Schemes(), ns, beams, *topos, *pruneMargin)
+		if err != nil {
+			return err
+		}
+		skipped := 0
+		for _, v := range verdicts {
+			if v.Skip {
+				skipped++
+				fmt.Printf("pruned %v N=%d θ=%g° (Kai-Liew estimate %.3g below %.2fx density best)\n",
+					v.Scheme, v.N, v.BeamwidthDeg, v.Estimate, *pruneMargin)
+			}
+		}
+		fmt.Printf("pre-sweep pruning: simulated %d of %d cells\n\n", len(cells), len(verdicts))
+	} else {
+		cells, err = experiments.RunGrid(baseCfg, core.Schemes(), ns, beams, *topos)
+		if err != nil {
+			return err
+		}
 	}
 
 	show := func(key, title string, m experiments.Metric) error {

@@ -58,6 +58,7 @@ func run(args []string) error {
 		traceN       = fs.Int("trace", 0, "print the last N protocol trace events (single-topology mode)")
 		telPath      = fs.String("telemetry", "", "write a telemetry JSONL export to FILE (\"-\" for stdout); analyze with simtrace")
 		telInterval  = fs.Duration("telemetry-interval", 10*time.Millisecond, "sim-time sampling interval for -telemetry")
+		fastForward  = fs.Bool("fastforward", false, "enable analytic idle-time skipping (bit-identical results, fewer kernel events)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,6 +90,11 @@ func run(args []string) error {
 			DisableEIFS:    *noEIFS,
 			AdaptiveRTS:    des.Time(adaptive.Nanoseconds()),
 		}.Scenario()
+	}
+	// -fastforward opts in on top of whatever the scenario says; it never
+	// forces the slow path off for a scenario that enabled it itself.
+	if *fastForward {
+		sc.FastForward = true
 	}
 	// -telemetry turns on sampling (unless the scenario file already did)
 	// and streams the export to the named file. The sink plugs into both

@@ -41,10 +41,12 @@ var SimPackages = []string{
 	"repro/internal/mac",
 	"repro/internal/traffic",
 	"repro/internal/mobility",
+	"repro/internal/neighbor",
 	"repro/internal/experiments",
 	"repro/internal/sim",
 	"repro/internal/cache",
 	"repro/internal/telemetry",
+	"repro/internal/core",
 }
 
 // IsSimPackage reports whether path falls under the simulation subtree.

@@ -111,3 +111,41 @@ func (w *workspace) goodTabulateInto(buf []float64) []float64 {
 	}
 	return buf
 }
+
+// countdown models the MAC backoff fast-forward machinery (DESIGN.md
+// §12): a residual countdown settled in bulk when the channel was
+// provably idle for the elapsed stretch.
+type countdown struct {
+	backoff int
+	start   int
+	pending []func()
+}
+
+// goodBulkJump is the sanctioned settlement shape: the elapsed slot
+// count collapses to integer arithmetic on prerecorded anchors — one
+// division, one subtraction, no per-slot work and nothing allocated.
+//
+//desalint:hotpath
+func (c *countdown) goodBulkJump(now, slot int) {
+	elapsed := (now - c.start) / slot
+	if elapsed > c.backoff {
+		elapsed = c.backoff
+	}
+	c.backoff -= elapsed
+}
+
+// badPerSlotLoop replays the skipped stretch slot by slot inside the
+// marked jump path, capturing state into a fresh closure per slot —
+// exactly the per-event cost the bulk jump exists to eliminate, so the
+// analyzer must flag it.
+//
+//desalint:hotpath
+func (c *countdown) badPerSlotLoop(now, slot int) {
+	for t := c.start; t < now; t += slot {
+		t := t
+		c.pending = append(c.pending, func() { // want `closure captures c, t`
+			c.backoff--
+			_ = t
+		})
+	}
+}

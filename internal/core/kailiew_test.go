@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKaiLiewValidate(t *testing.T) {
+	bad := []KaiLiewParams{
+		{Scheme: Scheme(99), N: 5, Beamwidth: 1, Lengths: PaperLengths(), W: 32, M: 5},
+		{Scheme: DRTSDCTS, N: 0, Beamwidth: 1, Lengths: PaperLengths(), W: 32, M: 5},
+		{Scheme: DRTSDCTS, N: 5, Beamwidth: 0, Lengths: PaperLengths(), W: 32, M: 5},
+		{Scheme: DRTSDCTS, N: 5, Beamwidth: 7, Lengths: PaperLengths(), W: 32, M: 5},
+		{Scheme: DRTSDCTS, N: 5, Beamwidth: 1, Lengths: PaperLengths(), W: 1, M: 5},
+		{Scheme: DRTSDCTS, N: 5, Beamwidth: 1, Lengths: Lengths{}, W: 32, M: 5},
+	}
+	for i, kp := range bad {
+		if _, _, err := KaiLiewEstimate(kp); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, kp)
+		}
+	}
+	if err := DefaultKaiLiewParams(ORTSOCTS, 5, 0).Validate(); err != nil {
+		t.Errorf("omni scheme must not require a beamwidth: %v", err)
+	}
+}
+
+// TestKaiLiewRanking pins the qualitative structure the predictor must
+// preserve to be a safe pruner: directional RTS/CTS beats the omni
+// baseline at narrow beams (the paper's headline result), estimates are
+// finite and positive, and narrowing the beam helps DRTS-DCTS.
+func TestKaiLiewRanking(t *testing.T) {
+	deg := func(d float64) float64 { return d * math.Pi / 180 }
+	for _, n := range []float64{3, 5, 8} {
+		omni, _, err := KaiLiewEstimate(DefaultKaiLiewParams(ORTSOCTS, n, 2*math.Pi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir, _, err := KaiLiewEstimate(DefaultKaiLiewParams(DRTSDCTS, n, deg(30)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(omni > 0 && dir > 0) || math.IsNaN(omni) || math.IsNaN(dir) {
+			t.Fatalf("N=%v: estimates must be positive and finite, got omni=%v dir=%v", n, omni, dir)
+		}
+		if dir <= omni {
+			t.Errorf("N=%v: DRTS-DCTS at 30° (%v) must beat the omni baseline (%v)", n, dir, omni)
+		}
+	}
+	// Beam narrowing pays off where contention is actually binding: at
+	// the sweep's high density the narrow beam must rank above the wide
+	// one (at low N the reuse cap of one conversation per node saturates
+	// both, and the model rightly stops rewarding narrower beams).
+	narrow, _, err := KaiLiewEstimate(DefaultKaiLiewParams(DRTSDCTS, 8, deg(30)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, _, err := KaiLiewEstimate(DefaultKaiLiewParams(DRTSDCTS, 8, deg(150)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow <= wide {
+		t.Errorf("N=8: narrowing the beam must raise the DRTS-DCTS estimate (30°=%v, 150°=%v)", narrow, wide)
+	}
+	// τ must come from the same machinery as the Bianchi fixed point:
+	// at full population (omni, integer contenders) the two agree.
+	_, tau, err := KaiLiewEstimate(DefaultKaiLiewParams(ORTSOCTS, 5, 2*math.Pi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bTau, _, err := BianchiAttempt(DefaultBianchiParams(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tau-bTau) > 1e-9 {
+		t.Errorf("omni Kai-Liew τ (%v) diverged from Bianchi τ (%v)", tau, bTau)
+	}
+}

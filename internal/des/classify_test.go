@@ -1,0 +1,92 @@
+package des
+
+import "testing"
+
+// TestActivePendingCounting pins the classification bookkeeping: the
+// active count tracks scheduling, firing and cancellation of both
+// classes, and recycled timers never leak their class onto the next
+// occupant of the same entry.
+func TestActivePendingCounting(t *testing.T) {
+	s := New(1)
+	if got := s.ActivePending(); got != 0 {
+		t.Fatalf("empty scheduler: ActivePending = %d, want 0", got)
+	}
+	a := s.Schedule(10, func() {})
+	s.ScheduleInert(20, func() {})
+	i2 := s.AtInert(30, func() {})
+	if got, p := s.ActivePending(), s.Pending(); got != 1 || p != 3 {
+		t.Fatalf("ActivePending = %d, Pending = %d, want 1, 3", got, p)
+	}
+	s.At(40, func() {})
+	if got := s.ActivePending(); got != 2 {
+		t.Fatalf("after At: ActivePending = %d, want 2", got)
+	}
+
+	// Cancel one of each class.
+	s.Cancel(a)
+	s.Cancel(i2)
+	if got, p := s.ActivePending(), s.Pending(); got != 1 || p != 2 {
+		t.Fatalf("after cancels: ActivePending = %d, Pending = %d, want 1, 2", got, p)
+	}
+
+	// Fire the rest; count must drain to zero.
+	s.RunAll()
+	if got, p := s.ActivePending(), s.Pending(); got != 0 || p != 0 {
+		t.Fatalf("after drain: ActivePending = %d, Pending = %d, want 0, 0", got, p)
+	}
+
+	// A recycled entry that carried an inert event must count again when
+	// reused for an active one (and vice versa).
+	s.ScheduleInert(5, func() {})
+	s.RunAll()
+	s.Schedule(5, func() {})
+	if got := s.ActivePending(); got != 1 {
+		t.Fatalf("recycled entry reused as active: ActivePending = %d, want 1", got)
+	}
+	s.RunAll()
+	if got := s.ActivePending(); got != 0 {
+		t.Fatalf("final drain: ActivePending = %d, want 0", got)
+	}
+}
+
+// TestInertOrderingIdentical verifies inert classification is invisible
+// to execution order: inert and active events at the same instant still
+// fire in scheduling (FIFO) order.
+func TestInertOrderingIdentical(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(10, func() { order = append(order, 0) })
+	s.AtInert(10, func() { order = append(order, 1) })
+	s.At(10, func() { order = append(order, 2) })
+	s.AtInert(5, func() { order = append(order, 3) })
+	s.RunAll()
+	want := []int{3, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestInertSelfReschedule pins the pattern every inert driver uses
+// (CBR arrivals, mobility ticks): an inert callback rescheduling itself
+// keeps the active count at zero throughout.
+func TestInertSelfReschedule(t *testing.T) {
+	s := New(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if mid := s.ActivePending(); mid != 0 {
+			t.Fatalf("inside inert tick: ActivePending = %d, want 0", mid)
+		}
+		if n < 5 {
+			s.ScheduleInert(10, tick)
+		}
+	}
+	s.ScheduleInert(10, tick)
+	s.Run(100)
+	if n != 5 {
+		t.Fatalf("ticks = %d, want 5", n)
+	}
+}

@@ -68,6 +68,7 @@ type timer struct {
 	ev    Event
 	gen   uint32 // bumped on recycle; stale handles mismatch
 	index int32  // position in the heap array
+	inert bool   // classified inert at scheduling time (see AtInert)
 }
 
 // Timer is a cancellable handle for a scheduled event. The zero value is
@@ -96,12 +97,13 @@ func (t Timer) Active() bool {
 
 // Scheduler owns the virtual clock and the pending-event queue.
 type Scheduler struct {
-	now   Time
-	heap  []*timer
-	free  []*timer
-	seq   uint64
-	rng   *rand.Rand
-	count uint64 // events executed
+	now     Time
+	heap    []*timer
+	free    []*timer
+	seq     uint64
+	rng     *rand.Rand
+	count   uint64 // events executed
+	activeN int    // pending events NOT classified inert
 }
 
 // New returns a Scheduler whose random stream is seeded with seed.
@@ -130,6 +132,17 @@ func (s *Scheduler) Pending() int {
 	return len(s.heap)
 }
 
+// ActivePending returns the number of pending events that were NOT
+// classified inert at scheduling time. When it reaches zero the queue
+// holds only dead-air bookkeeping — countdowns and idle waits whose due
+// times are already fixed — so a fast-forward layer may advance the
+// clock analytically without changing what any pending event observes.
+//
+//desalint:hotpath
+func (s *Scheduler) ActivePending() int {
+	return s.activeN
+}
+
 // alloc takes a recycled timer from the free list or makes a new one.
 //
 //desalint:hotpath
@@ -152,6 +165,10 @@ func (s *Scheduler) recycle(tm *timer) {
 	tm.gen++
 	tm.fn = nil
 	tm.ev = nil
+	if !tm.inert {
+		s.activeN--
+	}
+	tm.inert = false
 	tm.index = -1
 	s.free = append(s.free, tm)
 }
@@ -167,6 +184,9 @@ func (s *Scheduler) insert(tm *timer, at Time) Timer {
 	tm.at = at
 	tm.seq = s.seq
 	tm.index = int32(len(s.heap))
+	if !tm.inert {
+		s.activeN++
+	}
 	s.heap = append(s.heap, tm)
 	s.siftUp(len(s.heap) - 1)
 	return Timer{tm: tm, gen: tm.gen, at: at}
@@ -214,6 +234,40 @@ func (s *Scheduler) ScheduleEvent(d Time, ev Event) Timer {
 		d = 0
 	}
 	return s.AtEvent(s.now+d, ev)
+}
+
+// Events default to ACTIVE: anything not explicitly classified is
+// assumed capable of perturbing other nodes (frame arrivals, protocol
+// responses, telemetry sample ticks — the sample grid is pinned by
+// keeping ticks active). The Inert variants below are the opt-in for
+// events that only consume idle time: their due instant is fixed at
+// scheduling time, firing them has no effect on any OTHER pending
+// event, and they may therefore be overtaken by an analytic clock jump.
+// Classification is a scheduling-time property — a timer never changes
+// class while pending.
+
+// AtInert schedules fn at absolute time t as an inert event: pure idle
+// bookkeeping (a backoff slot boundary, a NAV or DIFS expiry, a paced
+// arrival) that cannot perturb any other pending event when it fires.
+// Ordering, clamping, and FIFO guarantees are identical to At.
+//
+//desalint:hotpath
+func (s *Scheduler) AtInert(t Time, fn func()) Timer {
+	tm := s.alloc()
+	tm.fn = fn
+	tm.inert = true
+	return s.insert(tm, t)
+}
+
+// ScheduleInert schedules fn after delay d from now as an inert event.
+// Negative delays clamp to zero.
+//
+//desalint:hotpath
+func (s *Scheduler) ScheduleInert(d Time, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtInert(s.now+d, fn)
 }
 
 // Cancel prevents a pending timer from firing. It reports whether the

@@ -102,6 +102,10 @@ type SimConfig struct {
 	// set. Batch runs buffer per shard and merge deterministically in
 	// shard order. Like Tracer, a telemetry-enabled run bypasses Cache.
 	Telemetry telemetry.Sink
+	// FastForward enables analytic idle-time skipping in the kernel.
+	// Results are bit-identical with it on or off (golden-enforced), so
+	// it composes freely with Cache — the key ignores it.
+	FastForward bool
 }
 
 // Validate checks the configuration.
@@ -145,6 +149,7 @@ func (c SimConfig) Scenario() sim.Scenario {
 			Interval: sim.Duration(c.TelemetryInterval),
 			Metrics:  c.TelemetryMetrics,
 		},
+		FastForward: c.FastForward,
 	}
 	if c.OfferedLoadBps > 0 {
 		sc.Traffic.Kind = "cbr"
@@ -185,6 +190,7 @@ func ConfigFromScenario(sc sim.Scenario) (SimConfig, error) {
 		SINR:              sc.PHY.SINR,
 		TelemetryInterval: des.Time(sc.Telemetry.Interval),
 		TelemetryMetrics:  sc.Telemetry.Metrics,
+		FastForward:       sc.FastForward,
 	}
 	switch sc.Traffic.Kind {
 	case "", "saturated":

@@ -258,6 +258,7 @@ func Build(sc Scenario, opts Options) (*Sim, error) {
 		macCfg.Metrics = tel.macMetrics
 	}
 	macCfg.BasicAccess = sc.Ablations.BasicAccess
+	macCfg.FastForward = sc.FastForward
 	if sc.Ablations.AdaptiveRTS > 0 {
 		macCfg.AdaptiveRTSStaleness = des.Time(sc.Ablations.AdaptiveRTS)
 		macCfg.PiggybackLocation = true

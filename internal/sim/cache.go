@@ -30,8 +30,12 @@ const optionsFingerprint = "default"
 
 // ScenarioKey computes the content address of a scenario's result:
 // SHA-256 over the canonical scenario bytes, the engine fingerprint and
-// the options fingerprint.
+// the options fingerprint. FastForward is normalized away before
+// hashing: it is a pure performance switch whose results are
+// bit-identical by construction (golden-enforced), so a warm cache
+// filled without it serves fast-forward runs and vice versa.
 func ScenarioKey(sc Scenario) (cache.Key, error) {
+	sc.FastForward = false
 	b, err := MarshalScenario(sc)
 	if err != nil {
 		return cache.Key{}, err

@@ -177,6 +177,13 @@ type Scenario struct {
 	// SampleDelays reservoir-samples per-packet delays of the inner
 	// nodes so the Result carries delay percentiles, not just means.
 	SampleDelays bool `json:"sampleDelays,omitempty"`
+	// FastForward enables analytic idle-time skipping in the kernel:
+	// backoff countdowns over dead air run as one bulk jump instead of
+	// per-slot events. It is a pure performance switch — results are
+	// bit-identical with it on or off (the kernel-determinism goldens
+	// enforce this) — and is therefore excluded from the result cache
+	// key.
+	FastForward bool `json:"fastforward,omitempty"`
 }
 
 // ResolvedScheme parses the scenario's scheme name through the beam-mode
@@ -194,7 +201,10 @@ func (sc Scenario) ResolvedScheme() (core.Scheme, error) {
 func (sc Scenario) Validate() error {
 	scheme, err := sc.ResolvedScheme()
 	if err != nil {
-		return err
+		// ResolveScheme reports in core's vocabulary ("core: unknown
+		// scheme ..."); rewrap so the message names the JSON path like
+		// every other validation error here.
+		return fmt.Errorf("sim: scheme: %w", err)
 	}
 	if scheme != core.ORTSOCTS && (sc.BeamwidthDeg <= 0 || sc.BeamwidthDeg > 360) {
 		return fmt.Errorf("sim: beamwidthDeg: must be in (0, 360] degrees for directional schemes, got %v", sc.BeamwidthDeg)

@@ -132,7 +132,9 @@ func TestValidateErrors(t *testing.T) {
 		mutate func(*Scenario)
 		want   string
 	}{
-		{"unknown scheme", func(sc *Scenario) { sc.Scheme = "QRTS" }, "unknown scheme"},
+		// The scheme error must carry the JSON path like every other
+		// validator, not leak the bare core error.
+		{"unknown scheme", func(sc *Scenario) { sc.Scheme = "QRTS" }, "sim: scheme: core: unknown scheme"},
 		{"zero beamwidth", func(sc *Scenario) { sc.BeamwidthDeg = 0 }, "beamwidthDeg"},
 		{"beamwidth over 360", func(sc *Scenario) { sc.BeamwidthDeg = 400 }, "beamwidthDeg"},
 		{"zero duration", func(sc *Scenario) { sc.Duration = 0 }, "duration: must be positive"},
