@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build lint lint-extra test bench bench-smoke bench-compare fmt-check scenarios sweep-cached telemetry-smoke fastforward-smoke
+.PHONY: all build lint lint-budget lint-extra test bench bench-smoke bench-compare fmt-check scenarios sweep-cached telemetry-smoke fastforward-smoke
 
 all: build lint test
 
@@ -22,6 +22,19 @@ build:
 lint: fmt-check
 	$(GO) vet ./...
 	$(GO) run ./cmd/desalint ./...
+
+# Lint with a wall-clock budget: the dataflow-backed analyzers
+# (inertsafety, cachekey, sharedstate) must stay cheap enough to run on
+# every push, so CI uses this target and fails if the full lint pass
+# exceeds 120 seconds — only a real blow-up (say, an accidental
+# inter-procedural fixpoint) trips it, not runner noise.
+lint-budget:
+	@start=$$(date +%s); \
+	$(MAKE) lint || exit 1; \
+	end=$$(date +%s); \
+	elapsed=$$((end - start)); \
+	echo "lint took $${elapsed}s (budget 120s)"; \
+	if [ $$elapsed -gt 120 ]; then echo "lint exceeded the 120s budget"; exit 1; fi
 
 # External linters; kept out of `lint` so the default workflow works
 # fully offline. CI runs this with the same pinned versions.

@@ -108,7 +108,7 @@ func run(args []string, stdout *os.File) error {
 		return fmt.Errorf("no benchmark results matched %q", *bench)
 	}
 	report := Report{
-		Date:      time.Now().Format("2006-01-02"),
+		Date:      time.Now().Format("2006-01-02"), //desalint:ignore wallclock report metadata stamp; no simulation result depends on it
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,

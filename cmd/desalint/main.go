@@ -1,12 +1,17 @@
 // Command desalint is the repository's determinism and hot-path
 // multichecker: it runs the internal/analysis suite (wallclock,
-// globalrand, maporder, hotpath, timerhandle) over module packages and
-// exits non-zero when any invariant is violated.
+// globalrand, maporder, hotpath, timerhandle, inertsafety, cachekey,
+// sharedstate) over module packages and exits non-zero when any
+// invariant is violated.
 //
 // Usage:
 //
 //	go run ./cmd/desalint ./...
-//	go run ./cmd/desalint ./internal/phy ./internal/mac
+//	go run ./cmd/desalint -json ./internal/phy ./internal/mac
+//
+// With -json each diagnostic is emitted as one JSON object per line
+// ({"file","line","col","verb","message"}) for editor and CI tooling;
+// exit codes are unchanged.
 //
 // Exit codes: 0 clean, 1 diagnostics reported, 2 usage or load error.
 // See DESIGN.md, "Determinism invariants & static analysis", for the
@@ -14,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,9 +28,21 @@ import (
 	"repro/internal/analysis/desalint"
 )
 
+// jsonDiagnostic is the machine-readable diagnostic shape; "verb" is
+// the analyzer name so editor integrations can map it straight onto
+// the //desalint:ignore <verb> grammar.
+type jsonDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Verb    string `json:"verb"`
+	Message string `json:"message"`
+}
+
 func main() {
+	jsonOut := flag.Bool("json", false, "emit one JSON object per diagnostic instead of plain text")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: desalint [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: desalint [-json] [packages]\n\nAnalyzers:\n")
 		for _, a := range desalint.Analyzers {
 			scope := "all module packages"
 			if a.SimOnly {
@@ -51,8 +69,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			if err := enc.Encode(jsonDiagnostic{
+				File:    d.Pos.Filename,
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Verb:    d.Analyzer,
+				Message: d.Message,
+			}); err != nil {
+				fatal(err)
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "desalint: %d violation(s)\n", len(diags))

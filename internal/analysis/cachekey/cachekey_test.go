@@ -1,0 +1,53 @@
+package cachekey_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/cachekey"
+	"repro/internal/analysis/framework"
+)
+
+func TestCacheKey(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), cachekey.Analyzer, "cachefix", "cachestale")
+}
+
+// TestAllowlistIsLoadBearing proves the acceptance property directly:
+// removing the fastforward entry from the result-invariant allowlist
+// turns the (clean) FastForward exclusion into a diagnostic.
+func TestAllowlistIsLoadBearing(t *testing.T) {
+	reason, ok := cachekey.ResultInvariant["fastforward"]
+	if !ok {
+		t.Fatal("fastforward allowlist entry missing")
+	}
+	delete(cachekey.ResultInvariant, "fastforward")
+	defer func() { cachekey.ResultInvariant["fastforward"] = reason }()
+
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := framework.NewLoader(framework.LoadConfig{ExtraRoots: []string{root}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load("cachefix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := framework.RunAnalyzer(cachekey.Analyzer, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "FastForward") && strings.Contains(d.Message, `json "fastforward"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("deleting the fastforward allowlist entry must produce a FastForward diagnostic; got %d diagnostics:\n%v", len(diags), diags)
+	}
+}

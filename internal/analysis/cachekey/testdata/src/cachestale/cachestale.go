@@ -1,0 +1,24 @@
+// Package cachestale has a Scenario without any field matching the
+// global "fastforward" allowlist entry, so the entry is reported stale
+// at the ScenarioKey declaration.
+package cachestale
+
+// Key stands in for the cache key type.
+type Key [4]byte
+
+// Scenario has no fastforward field at all.
+type Scenario struct {
+	Name string `json:"name"`
+}
+
+// MarshalScenario produces the canonical bytes.
+func MarshalScenario(sc Scenario) []byte { return []byte(sc.Name) }
+
+// ScenarioKey hashes the canonical bytes.
+func ScenarioKey(sc Scenario) Key { // want `cachekey.ResultInvariant entry "fastforward" matches no Scenario field excluded from the cache key`
+	_ = MarshalScenario(sc)
+	return Key{}
+}
+
+// Build consumes the scenario.
+func Build(sc Scenario) int { return len(sc.Name) }

@@ -3,22 +3,28 @@
 // the library behind cmd/desalint and the self-test that keeps the
 // repository lint-clean.
 //
-// Scoping: analyzers marked SimOnly (wallclock, globalrand, maporder)
-// apply only to the simulation packages — the packages whose code runs
-// inside a simulation and therefore must be bit-reproducible. The
-// hotpath and timerhandle analyzers run module-wide: hotpath only
-// triggers on annotated functions, and a *des.Timer is a contract
-// violation wherever it appears.
+// Scoping: analyzers marked SimOnly (wallclock, globalrand, maporder,
+// and the desaflow-based inertsafety, cachekey and sharedstate) apply
+// only to the simulation packages — the packages whose code runs inside
+// a simulation and therefore must be bit-reproducible — plus the cmd/
+// tree, whose CLIs drive simulations and must not smuggle wall-clock
+// time or global randomness into them. The hotpath and timerhandle
+// analyzers run module-wide: hotpath only triggers on annotated
+// functions, and a *des.Timer is a contract violation wherever it
+// appears.
 package desalint
 
 import (
 	"fmt"
 	"strings"
 
+	"repro/internal/analysis/cachekey"
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/globalrand"
 	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/inertsafety"
 	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/sharedstate"
 	"repro/internal/analysis/timerhandle"
 	"repro/internal/analysis/wallclock"
 )
@@ -30,6 +36,9 @@ var Analyzers = []*framework.Analyzer{
 	maporder.Analyzer,
 	hotpath.Analyzer,
 	timerhandle.Analyzer,
+	inertsafety.Analyzer,
+	cachekey.Analyzer,
+	sharedstate.Analyzer,
 }
 
 // SimPackages lists the import paths (and their subtrees) whose code
@@ -47,6 +56,7 @@ var SimPackages = []string{
 	"repro/internal/cache",
 	"repro/internal/telemetry",
 	"repro/internal/core",
+	"repro/cmd",
 }
 
 // IsSimPackage reports whether path falls under the simulation subtree.
@@ -63,6 +73,18 @@ func IsSimPackage(path string) bool {
 var knownVerbs = map[string]bool{
 	"commutative": true,
 	"hotpath":     true,
+	"inertsafe":   true,
+	"ignore":      true,
+}
+
+// analyzerNames is used to validate the first argument of
+// //desalint:ignore.
+func analyzerNames() map[string]bool {
+	names := map[string]bool{"desalint": true}
+	for _, a := range Analyzers {
+		names[a.Name] = true
+	}
+	return names
 }
 
 // Run loads the packages matched by patterns (resolved against base,
@@ -101,22 +123,51 @@ func Run(moduleRoot, base string, patterns []string) ([]framework.Diagnostic, er
 			}
 			diags = append(diags, ds...)
 		}
+		// After the whole suite ran, any ignore directive that
+		// suppressed nothing is stale and reported itself.
+		for _, s := range pkg.UnusedSuppressions() {
+			diags = append(diags, framework.Diagnostic{
+				Pos:      pkg.Fset.Position(s.Pos),
+				Analyzer: "desalint",
+				Message:  fmt.Sprintf("unused //desalint:ignore %s suppression: no diagnostic matches this line", s.Analyzer),
+			})
+		}
 	}
 	framework.SortDiagnostics(diags)
 	return diags, nil
 }
 
-// checkAnnotationVerbs reports //desalint: comments with unknown verbs,
-// so a typo like //desalint:comutative fails loudly instead of
-// silently disabling a suppression.
+// checkAnnotationVerbs reports //desalint: comments with unknown verbs
+// (so a typo like //desalint:comutative fails loudly instead of
+// silently disabling a suppression) and malformed ignore directives.
 func checkAnnotationVerbs(pkg *framework.Package) []framework.Diagnostic {
+	names := analyzerNames()
 	var diags []framework.Diagnostic
 	for _, a := range pkg.AllAnnotations() {
 		if !knownVerbs[a.Verb] {
 			diags = append(diags, framework.Diagnostic{
 				Pos:      pkg.Fset.Position(a.Pos),
 				Analyzer: "desalint",
-				Message:  fmt.Sprintf("unknown annotation //desalint:%s (known verbs: commutative, hotpath)", a.Verb),
+				Message:  fmt.Sprintf("unknown annotation //desalint:%s (known verbs: commutative, hotpath, inertsafe, ignore)", a.Verb),
+			})
+			continue
+		}
+		if a.Verb != "ignore" {
+			continue
+		}
+		name, reason, _ := strings.Cut(a.Arg, " ")
+		switch {
+		case !names[name]:
+			diags = append(diags, framework.Diagnostic{
+				Pos:      pkg.Fset.Position(a.Pos),
+				Analyzer: "desalint",
+				Message:  fmt.Sprintf("//desalint:ignore names unknown analyzer %q", name),
+			})
+		case strings.TrimSpace(reason) == "":
+			diags = append(diags, framework.Diagnostic{
+				Pos:      pkg.Fset.Position(a.Pos),
+				Analyzer: "desalint",
+				Message:  fmt.Sprintf("//desalint:ignore %s needs a reason", name),
 			})
 		}
 	}

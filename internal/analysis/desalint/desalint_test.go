@@ -24,13 +24,23 @@ func moduleRoot(t *testing.T) string {
 	}
 }
 
-// TestSuiteInventory pins the analyzer roster: five analyzers, unique
-// names, with the reproducibility trio scoped to sim packages.
+// TestSuiteInventory pins the analyzer roster: eight analyzers, unique
+// names, with the reproducibility trio and the dataflow-backed trio
+// scoped to sim packages.
 func TestSuiteInventory(t *testing.T) {
-	if len(Analyzers) != 5 {
-		t.Fatalf("expected 5 analyzers, got %d", len(Analyzers))
+	if len(Analyzers) != 8 {
+		t.Fatalf("expected 8 analyzers, got %d", len(Analyzers))
 	}
-	simOnly := map[string]bool{"wallclock": true, "globalrand": true, "maporder": true, "hotpath": false, "timerhandle": false}
+	simOnly := map[string]bool{
+		"wallclock":   true,
+		"globalrand":  true,
+		"maporder":    true,
+		"hotpath":     false,
+		"timerhandle": false,
+		"inertsafety": true,
+		"cachekey":    true,
+		"sharedstate": true,
+	}
 	seen := map[string]bool{}
 	for _, a := range Analyzers {
 		if seen[a.Name] {
@@ -57,7 +67,8 @@ func TestIsSimPackage(t *testing.T) {
 		"repro/internal/des/sub":     true,
 		"repro/internal/plot":        false,
 		"repro/internal/analysis":    false,
-		"repro/cmd/bench":            false,
+		"repro/cmd":                  true,
+		"repro/cmd/bench":            true,
 		"repro":                      false,
 	} {
 		if got := IsSimPackage(path); got != want {
@@ -94,19 +105,28 @@ func TestBadModuleIsCaught(t *testing.T) {
 		t.Fatalf("desalint failed on bad module: %v", err)
 	}
 	got := map[string]int{}
+	fromTool := 0
 	for _, d := range diags {
 		got[d.Analyzer]++
 		if filepath.Base(filepath.Dir(d.Pos.Filename)) == "tool" {
-			t.Errorf("sim-only rule leaked into cmd/tool: %s", d)
+			fromTool++
 		}
 	}
+	// cmd packages are in scope for the reproducibility rules: the
+	// tool's wall-clock read and two global-rand draws must be flagged.
+	if fromTool != 3 {
+		t.Errorf("cmd/tool: %d diagnostic(s), want 3 (wallclock + 2 globalrand)", fromTool)
+	}
 	want := map[string]int{
-		"wallclock":   1, // time.Now
-		"globalrand":  2, // rand.Seed, rand.Int63
+		"wallclock":   2, // phy time.Now, cmd/tool time.Now
+		"globalrand":  4, // phy rand.Seed + rand.Int63, cmd/tool rand.Seed + rand.Int
 		"maporder":    1, // float accumulation
 		"hotpath":     1, // fmt.Sprintf in marked function
 		"timerhandle": 1, // *des.Timer package variable
-		"desalint":    1, // //desalint:comutative typo
+		"desalint":    2, // //desalint:comutative typo, unused ignore suppression
+		"inertsafety": 1, // inert countdown writes backoff read by active resume
+		"cachekey":    1, // Debug json:"-" read by Build
+		"sharedstate": 1, // goroutine writes captured total
 	}
 	for a, n := range want {
 		if got[a] != n {

@@ -1,6 +1,6 @@
-// Command tool shows the sim-only scoping: wall-clock and global rand
-// are fine outside simulation packages (the bench harness timestamps
-// its reports), while the timerhandle contract still applies.
+// Command tool shows that cmd packages are in scope for the
+// reproducibility rules: the wall-clock read and the global-generator
+// draws below are flagged just like in a sim package.
 package main
 
 import (
@@ -10,6 +10,6 @@ import (
 )
 
 func main() {
-	rand.Seed(1) // allowed here: not a sim package
-	fmt.Println(time.Now(), rand.Int())
+	rand.Seed(1)                        // globalrand
+	fmt.Println(time.Now(), rand.Int()) // wallclock + globalrand
 }

@@ -1,0 +1,396 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses `src` as the body of a single function declaration
+// and builds its CFG.
+func parseBody(t *testing.T, src string) *CFG {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body)
+}
+
+// blockWith returns the first block whose nodes mention an identifier
+// with the given name. A *ast.RangeStmt block node counts as its header
+// only, matching NodeEffects.
+func blockWith(t *testing.T, c *CFG, name string) *CFGBlock {
+	t.Helper()
+	contains := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(x ast.Node) bool {
+			if found {
+				return false
+			}
+			if r, ok := x.(*ast.RangeStmt); ok && x != n {
+				_ = r
+				return false
+			}
+			if id, ok := x.(*ast.Ident); ok && id.Name == name {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if r, ok := n.(*ast.RangeStmt); ok {
+				hit := false
+				for _, part := range []ast.Node{r.Key, r.Value, r.X} {
+					if part != nil && contains(part) {
+						hit = true
+					}
+				}
+				if hit {
+					return b
+				}
+				continue
+			}
+			if contains(n) {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block mentions %q", name)
+	return nil
+}
+
+// pathExists reports whether to is reachable from from along CFG edges.
+func pathExists(from, to *CFGBlock) bool {
+	seen := map[*CFGBlock]bool{}
+	var walk func(b *CFGBlock) bool
+	walk = func(b *CFGBlock) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+func hasEdge(from, to *CFGBlock) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGIfElseJoins(t *testing.T) {
+	c := parseBody(t, `
+		if cond {
+			thenBranch()
+		} else {
+			elseBranch()
+		}
+		after()
+	`)
+	condB := blockWith(t, c, "cond")
+	thenB := blockWith(t, c, "thenBranch")
+	elseB := blockWith(t, c, "elseBranch")
+	afterB := blockWith(t, c, "after")
+	if !hasEdge(condB, thenB) || !hasEdge(condB, elseB) {
+		t.Error("condition block must branch to both arms")
+	}
+	if !pathExists(thenB, afterB) || !pathExists(elseB, afterB) {
+		t.Error("both arms must rejoin at the statement after the if")
+	}
+	if pathExists(thenB, elseB) || pathExists(elseB, thenB) {
+		t.Error("the two arms must be mutually unreachable")
+	}
+}
+
+func TestCFGShortCircuitSplitsOperands(t *testing.T) {
+	c := parseBody(t, `
+		if left && right {
+			body()
+		}
+		after()
+	`)
+	leftB := blockWith(t, c, "left")
+	rightB := blockWith(t, c, "right")
+	bodyB := blockWith(t, c, "body")
+	afterB := blockWith(t, c, "after")
+	if leftB == rightB {
+		t.Fatal("&& operands must live in separate blocks")
+	}
+	if !hasEdge(leftB, rightB) {
+		t.Error("right operand must be a successor of the left")
+	}
+	if hasEdge(leftB, bodyB) {
+		t.Error("body must not be reachable without evaluating the right operand")
+	}
+	if !pathAvoiding(leftB, afterB, rightB) {
+		t.Error("left-false must skip past the if without evaluating the right operand")
+	}
+	if !hasEdge(rightB, bodyB) || !pathAvoiding(rightB, afterB, bodyB) {
+		t.Error("right operand decides between body and fallthrough")
+	}
+}
+
+func TestCFGNegatedOrSwapsBranches(t *testing.T) {
+	c := parseBody(t, `
+		if !(a || b) {
+			body()
+		}
+		after()
+	`)
+	aB := blockWith(t, c, "a")
+	bB := blockWith(t, c, "b")
+	bodyB := blockWith(t, c, "body")
+	afterB := blockWith(t, c, "after")
+	// !(a || b): a true => skip body; a false => evaluate b.
+	if !pathAvoiding(aB, afterB, bB) || !hasEdge(aB, bB) {
+		t.Error("a must branch to after (true) and to b (false)")
+	}
+	if hasEdge(aB, bodyB) {
+		t.Error("body requires both operands false; a alone cannot reach it")
+	}
+	if !hasEdge(bB, bodyB) || !pathAvoiding(bB, afterB, bodyB) {
+		t.Error("b decides between body and after")
+	}
+}
+
+func TestCFGForLoopBackEdgeAndBreak(t *testing.T) {
+	c := parseBody(t, `
+		for i := 0; i < n; i++ {
+			if stop {
+				break
+			}
+			work()
+		}
+		after()
+	`)
+	condB := blockWith(t, c, "n")
+	workB := blockWith(t, c, "work")
+	afterB := blockWith(t, c, "after")
+	if !pathExists(workB, condB) {
+		t.Error("loop body must flow back to the condition")
+	}
+	if !pathExists(condB, afterB) {
+		t.Error("loop must be exitable")
+	}
+	stopB := blockWith(t, c, "stop")
+	if !pathExists(stopB, afterB) {
+		t.Error("break must reach the block after the loop")
+	}
+}
+
+func TestCFGContinueSkipsRestOfBody(t *testing.T) {
+	c := parseBody(t, `
+		for i := 0; i < n; i++ {
+			if skip {
+				continue
+			}
+			work()
+		}
+	`)
+	skipB := blockWith(t, c, "skip")
+	workB := blockWith(t, c, "work")
+	condB := blockWith(t, c, "n")
+	// skip-true must route back to the condition without entering the
+	// rest of the body.
+	bypass := false
+	for _, s := range skipB.Succs {
+		if s != workB && pathAvoiding(s, condB, workB) {
+			bypass = true
+		}
+	}
+	if !bypass {
+		t.Error("continue must bypass the rest of the loop body")
+	}
+	if !pathExists(skipB, workB) {
+		t.Error("skip-false must continue into the loop body")
+	}
+}
+
+// pathAvoiding reports whether to is reachable from from without ever
+// entering avoid.
+func pathAvoiding(from, to, avoid *CFGBlock) bool {
+	seen := map[*CFGBlock]bool{avoid: true}
+	var walk func(b *CFGBlock) bool
+	walk = func(b *CFGBlock) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	if from == avoid {
+		return false
+	}
+	return walk(from)
+}
+
+func TestCFGDeferLandsInExit(t *testing.T) {
+	c := parseBody(t, `
+		defer cleanup()
+		work()
+	`)
+	found := false
+	for _, n := range c.Exit.Nodes {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "cleanup" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("deferred call must appear in the exit block")
+	}
+}
+
+func TestCFGReturnMakesTailUnreachable(t *testing.T) {
+	c := parseBody(t, `
+		if early {
+			return
+		}
+		work()
+		return
+		dead()
+	`)
+	reach := c.Reachable()
+	deadB := blockWith(t, c, "dead")
+	if reach[deadB] {
+		t.Error("statements after an unconditional return must be unreachable")
+	}
+	workB := blockWith(t, c, "work")
+	if !reach[workB] {
+		t.Error("work must stay reachable")
+	}
+	if !hasEdge(blockWith(t, c, "early"), c.Exit) && !pathExists(blockWith(t, c, "early"), c.Exit) {
+		t.Error("early return must reach the exit block")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	c := parseBody(t, `
+		switch tag {
+		case one:
+			first()
+			fallthrough
+		case two:
+			second()
+		default:
+			third()
+		}
+		after()
+	`)
+	firstB := blockWith(t, c, "first")
+	secondB := blockWith(t, c, "second")
+	thirdB := blockWith(t, c, "third")
+	afterB := blockWith(t, c, "after")
+	if !hasEdge(firstB, secondB) {
+		t.Error("fallthrough must chain case bodies")
+	}
+	for _, b := range []*CFGBlock{firstB, secondB, thirdB} {
+		if !pathExists(b, afterB) {
+			t.Errorf("case body (block %d) must reach the statement after the switch", b.Index)
+		}
+	}
+	if pathExists(secondB, thirdB) {
+		t.Error("second case must not flow into default")
+	}
+}
+
+func TestCFGGotoResolves(t *testing.T) {
+	c := parseBody(t, `
+		work()
+		goto done
+		dead()
+	done:
+		after()
+	`)
+	workB := blockWith(t, c, "work")
+	afterB := blockWith(t, c, "after")
+	if !pathExists(workB, afterB) {
+		t.Error("goto must wire an edge to its label")
+	}
+	if c.Reachable()[blockWith(t, c, "dead")] {
+		t.Error("statements after goto must be unreachable")
+	}
+}
+
+func TestCFGSelectClausesAreAlternatives(t *testing.T) {
+	c := parseBody(t, `
+		select {
+		case v := <-recvCh:
+			useRecv(v)
+		case sendCh <- x:
+			useSend()
+		}
+		after()
+	`)
+	rB := blockWith(t, c, "useRecv")
+	sB := blockWith(t, c, "useSend")
+	afterB := blockWith(t, c, "after")
+	if pathExists(rB, sB) || pathExists(sB, rB) {
+		t.Error("select clauses must be mutually exclusive")
+	}
+	if !pathExists(rB, afterB) || !pathExists(sB, afterB) {
+		t.Error("both clauses must rejoin after the select")
+	}
+}
+
+func TestCFGRangeHeaderOnly(t *testing.T) {
+	c := parseBody(t, `
+		for k, v := range m {
+			body(k, v)
+		}
+		after()
+	`)
+	var headB *CFGBlock
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				headB = b
+			}
+		}
+	}
+	if headB == nil {
+		t.Fatal("range statement node missing from CFG")
+	}
+	bodyB := blockWith(t, c, "body")
+	if bodyB == headB {
+		t.Error("range body must live in its own block")
+	}
+	if !hasEdge(headB, bodyB) {
+		t.Error("range header must branch into the body")
+	}
+	if !pathExists(bodyB, headB) {
+		t.Error("range body must loop back to the header")
+	}
+	afterB := blockWith(t, c, "after")
+	if !hasEdge(headB, afterB) {
+		t.Error("range header must branch past the loop when exhausted")
+	}
+}

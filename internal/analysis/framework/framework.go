@@ -15,6 +15,15 @@
 //	    On (or immediately above) a for-range over a map: the loop body
 //	    is order-independent for the stated reason (checked by the
 //	    maporder analyzer; a reason is mandatory).
+//	//desalint:inertsafe <reason>
+//	    In a callback's doc comment (or on the offending line): the
+//	    inert-scheduled callback is safe to run under fast-forward for
+//	    the stated reason (consumed by the inertsafety analyzer).
+//	//desalint:ignore <analyzer> <reason>
+//	    On (or immediately above) a line: suppress that analyzer's
+//	    diagnostics on the line for the stated reason. Suppressions
+//	    that stop matching anything are themselves reported, so stale
+//	    ignores rot loudly.
 package framework
 
 import (
@@ -82,7 +91,10 @@ type Package struct {
 	Types *types.Package
 	Info  *types.Info
 
-	annots map[*ast.File]map[int]Annotation // line -> annotation, built lazily
+	annots    map[*ast.File]map[int]Annotation // line -> annotation, built lazily
+	suppr     []*Suppression                   // parsed ignore directives, built lazily
+	supprDone bool
+	summaries map[*types.Func]*Effects // per-function effect cache (see dataflow.go)
 }
 
 // Annotation is one parsed //desalint: comment.
@@ -166,18 +178,94 @@ func (p *Package) AnnotationAt(pos token.Pos) (Annotation, bool) {
 	return Annotation{}, false
 }
 
+// FuncAnnotation returns the annotation with the given verb from the
+// function declaration's doc comment, or ok=false.
+func (p *Package) FuncAnnotation(fd *ast.FuncDecl, verb string) (Annotation, bool) {
+	if fd.Doc == nil {
+		return Annotation{}, false
+	}
+	for _, c := range fd.Doc.List {
+		if a, ok := parseAnnotation(c); ok && a.Verb == verb {
+			return a, true
+		}
+	}
+	return Annotation{}, false
+}
+
 // HotPath reports whether the function declaration carries a
 // //desalint:hotpath line in its doc comment.
 func (p *Package) HotPath(fd *ast.FuncDecl) bool {
-	if fd.Doc == nil {
-		return false
+	_, ok := p.FuncAnnotation(fd, "hotpath")
+	return ok
+}
+
+// Suppression is one parsed //desalint:ignore directive. It suppresses
+// the named analyzer's diagnostics on its own line and the line below
+// (mirroring AnnotationAt's same-line-or-line-above rule).
+type Suppression struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Pos
+	file     string
+	line     int
+	used     bool
+}
+
+// suppressions parses every ignore directive in the package, once.
+func (p *Package) suppressions() []*Suppression {
+	if p.supprDone {
+		return p.suppr
 	}
-	for _, c := range fd.Doc.List {
-		if a, ok := parseAnnotation(c); ok && a.Verb == "hotpath" {
-			return true
+	p.supprDone = true
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				a, ok := parseAnnotation(c)
+				if !ok || a.Verb != "ignore" {
+					continue
+				}
+				name, reason, _ := strings.Cut(a.Arg, " ")
+				pos := p.Fset.Position(c.Pos())
+				p.suppr = append(p.suppr, &Suppression{
+					Analyzer: name,
+					Reason:   strings.TrimSpace(reason),
+					Pos:      c.Pos(),
+					file:     pos.Filename,
+					line:     pos.Line,
+				})
+			}
 		}
 	}
-	return false
+	return p.suppr
+}
+
+// suppressed reports whether a diagnostic from analyzer at pos is
+// covered by an ignore directive, marking the directive used.
+func (p *Package) suppressed(analyzer string, pos token.Position) bool {
+	hit := false
+	for _, s := range p.suppressions() {
+		if s.Analyzer != analyzer || s.file != pos.Filename {
+			continue
+		}
+		if s.line == pos.Line || s.line == pos.Line-1 {
+			s.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// UnusedSuppressions returns the ignore directives that suppressed
+// nothing. Call after every analyzer has run over the package; the
+// driver turns these into diagnostics so stale ignores fail the build.
+func (p *Package) UnusedSuppressions() []*Suppression {
+	var out []*Suppression
+	for _, s := range p.suppressions() {
+		if !s.used {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // AllAnnotations returns every desalint annotation in the package (for
@@ -210,10 +298,15 @@ func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
 // Info returns the package's type information.
 func (p *Pass) Info() *types.Info { return p.Pkg.Info }
 
-// Reportf records a diagnostic at pos.
+// Reportf records a diagnostic at pos, unless a //desalint:ignore
+// directive for this analyzer covers the line.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Pkg.suppressed(p.Analyzer.Name, position) {
+		return
+	}
 	p.report(Diagnostic{
-		Pos:      p.Pkg.Fset.Position(pos),
+		Pos:      position,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})

@@ -1,0 +1,60 @@
+// Package flowfix is the differential fixture for desaflow: every
+// function's shared read/write set is hand-computed in
+// dataflow_test.go and compared against EffectsOf/SummarizedEffects.
+// Keep the two in sync when editing.
+package flowfix
+
+var counter int
+
+var registry = map[string]int{}
+
+type box struct {
+	n     int
+	label string
+}
+
+type holder struct {
+	b *box
+}
+
+func incr(b *box) {
+	counter++
+	b.n = b.n + 1
+}
+
+func read(b *box) int {
+	return b.n + counter
+}
+
+func wrapper(b *box) {
+	incr(b)
+}
+
+func loop(b *box, xs []int) {
+	for i, x := range xs {
+		if x > 0 && b.n > 0 {
+			b.label = "pos"
+		}
+		_ = i
+	}
+}
+
+func nested(h *holder) {
+	h.b.n = 7
+}
+
+func register(name string) {
+	registry[name] = len(registry)
+}
+
+func branchy(b *box, c bool) {
+	if c {
+		b.n = 1
+	}
+	b.label = "x"
+}
+
+func deferred(b *box) {
+	defer incr(b)
+	_ = b.label
+}

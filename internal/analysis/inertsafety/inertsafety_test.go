@@ -1,0 +1,12 @@
+package inertsafety_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/inertsafety"
+)
+
+func TestInertSafety(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), inertsafety.Analyzer, "inertfix")
+}

@@ -1,0 +1,38 @@
+// Package des is a minimal scheduler stub for the inertsafety fixture:
+// the analyzer matches scheduler methods by receiver type name and
+// method name, so only the signatures matter.
+package des
+
+// Time is the stub's virtual-clock type.
+type Time int64
+
+// Timer is the stub's timer handle.
+type Timer struct{}
+
+// Event is the stub's event interface.
+type Event interface{ Fire() }
+
+// Scheduler is the stub scheduler; the name is what the analyzer keys
+// on.
+type Scheduler struct{}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return 0 }
+
+// At schedules an active callback at absolute time t.
+func (s *Scheduler) At(t Time, fn func()) Timer { return Timer{} }
+
+// Schedule schedules an active callback after delay d.
+func (s *Scheduler) Schedule(d Time, fn func()) Timer { return Timer{} }
+
+// AtInert schedules an inert callback at absolute time t.
+func (s *Scheduler) AtInert(t Time, fn func()) Timer { return Timer{} }
+
+// ScheduleInert schedules an inert callback after delay d.
+func (s *Scheduler) ScheduleInert(d Time, fn func()) Timer { return Timer{} }
+
+// AtEvent schedules an active event at absolute time t.
+func (s *Scheduler) AtEvent(t Time, ev Event) Timer { return Timer{} }
+
+// ScheduleEvent schedules an active event after delay d.
+func (s *Scheduler) ScheduleEvent(d Time, ev Event) Timer { return Timer{} }

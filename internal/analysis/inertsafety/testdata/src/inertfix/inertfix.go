@@ -1,0 +1,85 @@
+// Package inertfix exercises every inertsafety diagnostic: a direct
+// inert/active conflict, resolution through pre-bound callback fields
+// and dual-mode wrappers, function-literal callbacks, the inertsafe
+// escape hatch (with and without a reason), and the unused-annotation
+// check.
+package inertfix
+
+import "des"
+
+type node struct {
+	sched *des.Scheduler
+
+	counter int // written inert, read active: the conflict
+	quiet   int // only ever touched inert: no conflict
+
+	tickFn func() // pre-bound callback field
+}
+
+func newNode(s *des.Scheduler) *node {
+	n := &node{sched: s}
+	n.tickFn = n.tick
+	return n
+}
+
+// tick decrements the counter; it is scheduled inert through the
+// pre-bound field and the dual-mode wrapper below.
+func (n *node) tick() {
+	n.counter--
+}
+
+// observe is the active-path reader of counter.
+func (n *node) observe() {
+	if n.counter > 0 {
+		n.counter = 0
+	}
+}
+
+// quietWrite touches only state no active callback reads.
+func (n *node) quietWrite() {
+	n.quiet++
+}
+
+// scheduleIdle forwards its callback to the inert or the active entry
+// point; the analyzer must treat call sites as both.
+func (n *node) scheduleIdle(d des.Time, fn func()) des.Timer {
+	if d > 10 {
+		return n.sched.ScheduleInert(d, fn)
+	}
+	return n.sched.Schedule(d, fn)
+}
+
+func (n *node) start() {
+	n.sched.Schedule(1, n.observe) // active: reads counter
+
+	n.sched.ScheduleInert(5, n.tick) // want `inert callback tick writes inertfix.node.counter, which active callback observe reads`
+	n.scheduleIdle(20, n.tickFn)     // want `inert callback tick writes inertfix.node.counter, which active callback observe reads`
+	n.sched.AtInert(7, func() {      // want `inert callback func literal writes inertfix.node.counter, which active callback observe reads`
+		n.counter = 0
+	})
+
+	n.sched.ScheduleInert(9, n.quietWrite) // no conflict: quiet has no active readers
+	n.sched.ScheduleInert(11, n.blessed)   // annotated, suppressed
+	n.sched.ScheduleInert(13, n.unexplained)
+}
+
+// blessed conflicts with the active path but carries the escape hatch.
+//
+//desalint:inertsafe fixture: the write is provably benign here
+func (n *node) blessed() {
+	n.counter = 0
+}
+
+// unexplained carries the escape hatch without a reason.
+//
+//desalint:inertsafe
+func (n *node) unexplained() { // want `//desalint:inertsafe needs a reason`
+	n.counter = 0
+}
+
+// neverInert is never scheduled inert, so its annotation is dead.
+//
+//desalint:inertsafe stale reason
+func (n *node) neverInert() { // want `unused //desalint:inertsafe annotation: neverInert is never scheduled inert`
+	n.counter = 0
+}

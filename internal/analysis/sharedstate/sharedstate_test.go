@@ -1,0 +1,12 @@
+package sharedstate_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/sharedstate"
+)
+
+func TestSharedState(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), sharedstate.Analyzer, "sharedfix")
+}

@@ -1,0 +1,89 @@
+// Package sharedfix exercises the sharedstate diagnostics: unguarded
+// writes to captured and package-level state inside goroutines, with
+// mutex- and Once-guarded counterparts, goroutine-local state, the
+// line-level ignore directive, and a named-function launch.
+package sharedfix
+
+import "sync"
+
+var hits int
+
+var mu sync.Mutex
+
+var once sync.Once
+
+type opts struct{ n int }
+
+type job struct{ done bool }
+
+func captured() {
+	total := 0
+	j := &job{}
+	go func() {
+		total++       // want `goroutine writes captured variable total without holding a lock`
+		j.done = true // want `goroutine writes state behind captured pointer j without holding a lock`
+	}()
+}
+
+func pkgLevel() {
+	go func() {
+		hits++ // want `goroutine writes package-level variable hits without holding a lock`
+	}()
+}
+
+func guarded() {
+	total := 0
+	go func() {
+		mu.Lock()
+		total++ // guarded: no diagnostic
+		mu.Unlock()
+		mu.Lock()
+		defer mu.Unlock()
+		total++ // deferred unlock keeps the region guarded
+	}()
+}
+
+func conditionalLockLeaksNothing(c bool) {
+	total := 0
+	go func() {
+		if c {
+			mu.Lock()
+			mu.Unlock()
+		}
+		total++ // want `goroutine writes captured variable total without holding a lock`
+	}()
+}
+
+func onceGuarded() {
+	total := 0
+	go func() {
+		once.Do(func() {
+			total++ // Once.Do body runs exactly once: no diagnostic
+		})
+	}()
+}
+
+func goroutineLocal() {
+	shared := opts{}
+	go func() {
+		local := opts{}
+		local.n = 1 // declared inside the goroutine: fine
+		o := shared
+		o.n = 2 // copy made inside the goroutine: fine
+	}()
+}
+
+func annotated() {
+	results := make([]int, 4)
+	go func(i int) {
+		results[i] = i //desalint:ignore sharedstate index-disjoint writes, joined by a WaitGroup before any read
+	}(0)
+}
+
+func bump() {
+	hits++
+}
+
+func namedLaunch() {
+	go bump() // want `goroutine runs bump, which writes package-level variable sharedfix.hits`
+}

@@ -32,6 +32,13 @@ import (
 
 func TestKernelDeterminismGoldenFastForward(t *testing.T) {
 	for name, cfg := range goldenCases() {
+		if cfg.NAVOracle {
+			// sim.Validate rejects fastforward+navOracle up front (the
+			// oracle interrupts countdowns mid-slot, so mac.New would
+			// silently fall back to slot-by-slot operation anyway); the
+			// plain golden run still covers the oracle configuration.
+			continue
+		}
 		for _, tel := range []bool{false, true} {
 			cfg := cfg
 			cfg.FastForward = true

@@ -534,6 +534,7 @@ func (n *Node) resumeDeference() {
 // difsElapsed runs when the medium stayed idle through DIFS/EIFS; the
 // backoff countdown begins (or the transmission, if the counter is 0).
 //
+//desalint:inertsafe fires only when the medium stayed idle through the wait, so no active event ran in the skipped span; any interrupter cancels this timer before observing needEIFS
 //desalint:hotpath
 func (n *Node) difsElapsed() {
 	n.needEIFS = false
@@ -568,6 +569,7 @@ func (n *Node) tickSlot() {
 
 // slotElapsed burns one backoff slot and re-checks the counter.
 //
+//desalint:inertsafe interrupters settle the countdown via settleCountdown before reading backoff, reproducing the per-slot decrements exactly (DESIGN.md §12)
 //desalint:hotpath
 func (n *Node) slotElapsed() {
 	n.backoff--
@@ -578,6 +580,7 @@ func (n *Node) slotElapsed() {
 // the last has elapsed, and tickSlot schedules the final one as a real
 // per-slot timer (see tickSlot for why the last slot never jumps).
 //
+//desalint:inertsafe runs only when the bulk countdown was never interrupted (interrupters cancel the timer and settle backoff first), so the write is the settled per-slot value by construction
 //desalint:hotpath
 func (n *Node) jumpElapsed() {
 	n.bulkPending = false

@@ -117,7 +117,7 @@ func (r Runner) Run(base Scenario, shards int) ([]*Result, error) {
 					mu.Unlock()
 					continue
 				}
-				results[i] = res
+				results[i] = res //desalint:ignore sharedstate each worker writes only its own shard index, and the WaitGroup orders all writes before the read
 			}
 		}()
 	}

@@ -232,6 +232,13 @@ func (sc Scenario) Validate() error {
 	if sc.Ablations.AdaptiveRTS < 0 {
 		return fmt.Errorf("sim: ablations.adaptiveRTS: must be non-negative, got %v", sc.Ablations.AdaptiveRTS)
 	}
+	if sc.FastForward && sc.PHY.NAVOracle {
+		// mac.New would silently clear the flag (oracle NAV hints can
+		// interrupt a countdown mid-slot, outside the jump-safety
+		// envelope of DESIGN.md §12), so the scenario would not run the
+		// way it reads. Reject the combination up front instead.
+		return fmt.Errorf("sim: fastforward: incompatible with phy.navOracle (oracle NAV hints interrupt backoff countdowns mid-slot, so the analytic jump is disabled; drop one of the two flags)")
+	}
 	return sc.validateTelemetry()
 }
 

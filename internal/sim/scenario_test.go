@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/des"
 	"repro/internal/geom"
 )
 
@@ -86,6 +87,34 @@ func TestScenarioBadSpecsRejected(t *testing.T) {
 			}
 			t.Error("bad spec was accepted")
 		})
+	}
+}
+
+// TestValidateRejectsFastForwardWithNAVOracle pins the surfaced error:
+// the combination used to be silently downgraded inside mac.New, so the
+// scenario ran slot-by-slot while reading as fast-forwarded. The error
+// must name both JSON field paths so a hand-written file points at the
+// lines to fix.
+func TestValidateRejectsFastForwardWithNAVOracle(t *testing.T) {
+	sc := Scenario{
+		Scheme: "DRTS-DCTS", BeamwidthDeg: 30, Seed: 1,
+		Duration:    Duration(300 * des.Millisecond),
+		Topology:    TopologySpec{N: 4},
+		PHY:         PHYSpec{NAVOracle: true},
+		FastForward: true,
+	}
+	err := sc.Validate()
+	if err == nil {
+		t.Fatal("fastforward+navOracle scenario was accepted")
+	}
+	for _, want := range []string{"fastforward", "phy.navOracle"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %q", err, want)
+		}
+	}
+	sc.PHY.NAVOracle = false
+	if err := sc.Validate(); err != nil {
+		t.Errorf("fastforward alone must validate: %v", err)
 	}
 }
 
