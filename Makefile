@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build lint lint-budget lint-extra test bench bench-smoke bench-compare fmt-check scenarios sweep-cached telemetry-smoke fastforward-smoke
+.PHONY: all build lint lint-budget lint-extra test bench bench-smoke bench-compare fmt-check scenarios sweep-cached telemetry-smoke fastforward-smoke parallel-smoke
 
 all: build lint test
 
@@ -91,6 +91,18 @@ fastforward-smoke:
 	$(GO) run ./cmd/netsim -scenario internal/sim/testdata/fastforward-sparse.json -fastforward > .ff-on.txt
 	cmp .ff-off.txt .ff-on.txt
 	rm -f .ff-off.txt .ff-on.txt
+
+# Worker-count invariance on the partitioned parallel kernel: the same
+# auto-partitioned scenario executed by one worker and by four must
+# print byte-identical results (DESIGN.md §14). The scenario is large
+# and spread enough to split into multiple grid partitions, so this
+# exercises the cross-partition flush path, not just the sequential
+# fallback.
+parallel-smoke:
+	$(GO) run ./cmd/netsim -scenario internal/sim/testdata/parallel-uniform.json -workers 1 > .par-w1.txt
+	$(GO) run ./cmd/netsim -scenario internal/sim/testdata/parallel-uniform.json -workers 4 > .par-w4.txt
+	cmp .par-w1.txt .par-w4.txt
+	rm -f .par-w1.txt .par-w4.txt
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -498,6 +498,45 @@ func BenchmarkFastForwardOff(b *testing.B) {
 	}
 }
 
+// parallelKernelBench is the partitioned-kernel showcase: a uniform
+// field of Rings²·N = 2560 saturated nodes over a disk of radius 8R —
+// far past the auto-partition floor, so the planner splits it into the
+// full 8 partitions (DESIGN.md §14).
+func parallelKernelBench(partition string) sim.Scenario {
+	return sim.Scenario{
+		Scheme: "DRTS-DCTS", BeamwidthDeg: 60, Seed: 3,
+		Duration:  sim.Duration(50 * des.Millisecond),
+		Topology:  sim.TopologySpec{Kind: "uniform", N: 40, Rings: 8},
+		Partition: partition,
+	}
+}
+
+// BenchmarkParallelKernel compares the sequential kernel ("seq", forced
+// via partition "off") against the partitioned kernel executed by one
+// worker ("k1") and four workers ("k4") on the same large scenario.
+// k1 vs k4 is the pure parallel speedup — both run the identical
+// partition layout and produce byte-identical results
+// (sim.TestPartitionedRunWorkerInvariance); seq differs from both in
+// event order (independent per-partition random streams), so seq vs k1
+// gauges the partitioning overhead, not a result-preserving rewrite.
+// The k4/k1 ratio only shows a speedup with real CPUs to spend: on a
+// single-core machine (GOMAXPROCS=1) the extra workers just take turns
+// at the barrier and k4 records pure synchronization overhead, while
+// seq≈k1 still pins that the windowed round loop itself is ~free.
+func BenchmarkParallelKernel(b *testing.B) {
+	run := func(b *testing.B, sc sim.Scenario, workers int) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunScenario(sc, sim.Options{Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("seq", func(b *testing.B) { run(b, parallelKernelBench("off"), 1) })
+	b.Run("k1", func(b *testing.B) { run(b, parallelKernelBench(""), 1) })
+	b.Run("k4", func(b *testing.B) { run(b, parallelKernelBench(""), 4) })
+}
+
 // discard is a no-op PHY handler for micro-benches.
 type discard struct{}
 

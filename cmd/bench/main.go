@@ -30,8 +30,9 @@ import (
 // hotPathBenchmarks is the default set: the event-kernel and channel
 // micro-benches, the end-to-end cost of one simulated second (dense and
 // sparse), the analytical Fig. 5 sweep, the result cache cold/warm
-// pair, and the fast-forward on/off pair over the sparse scenario.
-const hotPathBenchmarks = "^(BenchmarkScheduler|BenchmarkChannelBroadcast|BenchmarkSimulationSecond|BenchmarkSimulationSecondSparse|BenchmarkFig5|BenchmarkScenarioCache|BenchmarkTelemetryOff|BenchmarkTelemetryOn|BenchmarkFastForwardOn|BenchmarkFastForwardOff)$"
+// pair, the fast-forward on/off pair over the sparse scenario, and the
+// partitioned parallel kernel (sequential vs 1-worker vs 4-worker).
+const hotPathBenchmarks = "^(BenchmarkScheduler|BenchmarkChannelBroadcast|BenchmarkSimulationSecond|BenchmarkSimulationSecondSparse|BenchmarkFig5|BenchmarkScenarioCache|BenchmarkTelemetryOff|BenchmarkTelemetryOn|BenchmarkFastForwardOn|BenchmarkFastForwardOff|BenchmarkParallelKernel)$"
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {

@@ -66,6 +66,7 @@ func run(args []string) error {
 		telInterval  = fs.Duration("telemetry-interval", 10*time.Millisecond, "sim-time sampling interval for the trajectory study")
 		fastForward  = fs.Bool("fastforward", false, "enable analytic idle-time skipping (bit-identical results, fewer kernel events)")
 		pruneMargin  = fs.Float64("prune", 0, "pre-sweep pruning margin in (0, 1]: skip grid cells whose Kai-Liew estimate falls below margin x the best at the same N (0 disables)")
+		workers      = fs.Int("workers", 0, "total goroutine budget shared between batch shards and partitioned runs (0 = GOMAXPROCS; never affects results)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +95,7 @@ func run(args []string) error {
 	if *fastForward {
 		baseCfg.FastForward = true
 	}
+	baseCfg.Workers = *workers
 	if *cacheDir != "" {
 		store, err := cache.NewStore(*cacheDir, 0)
 		if err != nil {

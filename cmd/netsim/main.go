@@ -59,6 +59,8 @@ func run(args []string) error {
 		telPath      = fs.String("telemetry", "", "write a telemetry JSONL export to FILE (\"-\" for stdout); analyze with simtrace")
 		telInterval  = fs.Duration("telemetry-interval", 10*time.Millisecond, "sim-time sampling interval for -telemetry")
 		fastForward  = fs.Bool("fastforward", false, "enable analytic idle-time skipping (bit-identical results, fewer kernel events)")
+		partition    = fs.String("partition", "", "partitioned parallel kernel: auto or off (default: scenario setting, auto)")
+		workers      = fs.Int("workers", 0, "goroutine budget for batch shards and partitioned runs (0 = GOMAXPROCS; never affects results)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,6 +98,10 @@ func run(args []string) error {
 	if *fastForward {
 		sc.FastForward = true
 	}
+	// -partition overrides the scenario's kernel selection when given.
+	if *partition != "" {
+		sc.Partition = *partition
+	}
 	// -telemetry turns on sampling (unless the scenario file already did)
 	// and streams the export to the named file. The sink plugs into both
 	// the single-run and the sharded-runner paths; the runner merges the
@@ -132,7 +138,7 @@ func run(args []string) error {
 	dur := des.Time(sc.Duration)
 
 	if *topos > 1 {
-		runner := sim.Runner{}
+		runner := sim.Runner{Workers: *workers}
 		if telSink != nil {
 			runner.Options.Telemetry = telSink
 		}
@@ -149,7 +155,7 @@ func run(args []string) error {
 		return nil
 	}
 
-	var opts sim.Options
+	opts := sim.Options{Workers: *workers}
 	var rec *trace.Recorder
 	if *traceN > 0 {
 		rec = trace.NewRecorder(*traceN)

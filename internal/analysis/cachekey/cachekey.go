@@ -37,6 +37,7 @@ var Analyzer = &framework.Analyzer{
 // still read by the build path fails the lint — that is the point.
 var ResultInvariant = map[string]string{
 	"fastforward": "pure performance switch; results are bit-identical with it on or off (kernel-determinism goldens, DESIGN.md §12)",
+	"partition":   "only the \"auto\" spelling is normalized to its synonym \"\" (identical plan at every layer, DESIGN.md §14); the result-affecting value \"off\" still reaches the canonical bytes",
 }
 
 // serializationFuncs are the canonical-bytes plumbing itself: their

@@ -18,8 +18,10 @@ type Scenario struct {
 	Name  string `json:"name"`
 	Debug bool   `json:"-"`              // want `Scenario field Debug \(json "Debug"\) is read by the build/run path but excluded from the cache key \(tagged json:"-"\)`
 	Fast  bool   `json:"fast,omitempty"` // want `Scenario field Fast \(json "fast"\) is read by the build/run path but excluded from the cache key \(normalized away in ScenarioKey before hashing\)`
-	// FastForward matches the global result-invariant allowlist entry.
+	// FastForward and Partition match the global result-invariant
+	// allowlist entries.
 	FastForward bool   `json:"fastforward,omitempty"`
+	Partition   string `json:"partition,omitempty"`
 	Nested      Nested `json:"nested"`
 	hidden      int    // want `Scenario field hidden \(json "hidden"\) is read by the build/run path but excluded from the cache key \(unexported, never serialized\)`
 }
@@ -32,6 +34,9 @@ func MarshalScenario(sc Scenario) []byte { return []byte(sc.Name) }
 func ScenarioKey(sc Scenario) Key {
 	sc.Fast = false
 	sc.FastForward = false
+	if sc.Partition == "auto" {
+		sc.Partition = ""
+	}
 	_ = MarshalScenario(sc)
 	return Key{}
 }
@@ -49,6 +54,7 @@ func Build(sc Scenario) int {
 	if sc.FastForward {
 		v++ // allowlisted: provably result-invariant in the real tree
 	}
+	v += len(sc.Partition) // allowlisted: only the synonym spelling is normalized
 	v += sc.Nested.Hidden + sc.Nested.Ok
 	v += sc.hidden
 	return v

@@ -1,12 +1,12 @@
 // Package cachestale has a Scenario without any field matching the
-// global "fastforward" allowlist entry, so the entry is reported stale
-// at the ScenarioKey declaration.
+// global allowlist entries, so each entry is reported stale at the
+// ScenarioKey declaration.
 package cachestale
 
 // Key stands in for the cache key type.
 type Key [4]byte
 
-// Scenario has no fastforward field at all.
+// Scenario has no fastforward or partition field at all.
 type Scenario struct {
 	Name string `json:"name"`
 }
@@ -15,7 +15,7 @@ type Scenario struct {
 func MarshalScenario(sc Scenario) []byte { return []byte(sc.Name) }
 
 // ScenarioKey hashes the canonical bytes.
-func ScenarioKey(sc Scenario) Key { // want `cachekey.ResultInvariant entry "fastforward" matches no Scenario field excluded from the cache key`
+func ScenarioKey(sc Scenario) Key { // want `cachekey.ResultInvariant entry "fastforward" matches no Scenario field excluded from the cache key` `cachekey.ResultInvariant entry "partition" matches no Scenario field excluded from the cache key`
 	_ = MarshalScenario(sc)
 	return Key{}
 }

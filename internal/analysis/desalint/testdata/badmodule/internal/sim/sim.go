@@ -12,6 +12,9 @@ type Scenario struct {
 	Debug bool `json:"-"` // cachekey
 	// FastForward matches the global result-invariant allowlist.
 	FastForward bool `json:"fastforward,omitempty"`
+	// Partition matches the allowlist too: only its synonym spelling is
+	// normalized away, so the exclusion is result-invariant.
+	Partition string `json:"partition,omitempty"`
 }
 
 // MarshalScenario produces the canonical bytes.
@@ -21,6 +24,9 @@ func MarshalScenario(sc Scenario) []byte { return []byte(sc.Name) }
 // result-invariant fields.
 func ScenarioKey(sc Scenario) Key {
 	sc.FastForward = false
+	if sc.Partition == "auto" {
+		sc.Partition = ""
+	}
 	_ = MarshalScenario(sc)
 	return Key{}
 }
@@ -34,5 +40,6 @@ func Build(sc Scenario) int {
 	if sc.FastForward {
 		v++
 	}
+	v += len(sc.Partition)
 	return v
 }

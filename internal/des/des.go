@@ -326,6 +326,42 @@ func (s *Scheduler) Run(until Time) uint64 {
 	return s.count - start
 }
 
+// NextAt returns the due time of the earliest pending event and whether
+// one exists. The partition group engine uses it to compute conservative
+// execution horizons.
+//
+//desalint:hotpath
+func (s *Scheduler) NextAt() (Time, bool) {
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.heap[0].at, true
+}
+
+// RunBefore executes events strictly earlier than horizon and returns
+// how many ran. Unlike Run it neither executes events AT the horizon nor
+// advances the clock to it: the horizon is a conservative bound, not a
+// target, and the next window may still insert events exactly at it.
+//
+//desalint:hotpath
+func (s *Scheduler) RunBefore(horizon Time) uint64 {
+	start := s.count
+	for len(s.heap) > 0 && s.heap[0].at < horizon {
+		s.Step()
+	}
+	return s.count - start
+}
+
+// AdvanceTo moves the clock forward to t without executing anything
+// (clamping, never rewinding). The group engine calls it once per
+// partition after the final window so every partition ends a run at the
+// same instant, mirroring Run's trailing clock advance.
+func (s *Scheduler) AdvanceTo(t Time) {
+	if t > s.now {
+		s.now = t
+	}
+}
+
 // RunAll executes every pending event regardless of time and returns how
 // many ran. Useful for draining short test scenarios.
 func (s *Scheduler) RunAll() uint64 {

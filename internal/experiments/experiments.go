@@ -106,6 +106,15 @@ type SimConfig struct {
 	// Results are bit-identical with it on or off (golden-enforced), so
 	// it composes freely with Cache — the key ignores it.
 	FastForward bool
+	// Partition controls the grid-partitioned parallel kernel: "" or
+	// "auto" lets large static scenarios split into per-region event
+	// queues, "off" forces the sequential kernel (see sim.Scenario).
+	Partition string
+	// Workers is the goroutine budget for execution (0 means
+	// GOMAXPROCS): in RunSim it bounds the partition workers of one run;
+	// in RunBatch it is the TOTAL budget shared between the shard pool
+	// and each shard's partition workers. Results never depend on it.
+	Workers int
 }
 
 // Validate checks the configuration.
@@ -150,6 +159,7 @@ func (c SimConfig) Scenario() sim.Scenario {
 			Metrics:  c.TelemetryMetrics,
 		},
 		FastForward: c.FastForward,
+		Partition:   c.Partition,
 	}
 	if c.OfferedLoadBps > 0 {
 		sc.Traffic.Kind = "cbr"
@@ -191,6 +201,7 @@ func ConfigFromScenario(sc sim.Scenario) (SimConfig, error) {
 		TelemetryInterval: des.Time(sc.Telemetry.Interval),
 		TelemetryMetrics:  sc.Telemetry.Metrics,
 		FastForward:       sc.FastForward,
+		Partition:         sc.Partition,
 	}
 	switch sc.Traffic.Kind {
 	case "", "saturated":
@@ -221,6 +232,7 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	}
 	return sim.RunScenario(cfg.Scenario(), sim.Options{
 		Topology: cfg.Topology, Tracer: cfg.Tracer, Cache: cfg.Cache, Telemetry: cfg.Telemetry,
+		Workers: cfg.Workers,
 	})
 }
 
@@ -270,7 +282,10 @@ func RunBatch(cfg SimConfig, topologies int) (*BatchResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	runner := sim.Runner{Options: sim.Options{Tracer: cfg.Tracer, Cache: cfg.Cache, Telemetry: cfg.Telemetry}}
+	runner := sim.Runner{
+		Workers: cfg.Workers,
+		Options: sim.Options{Tracer: cfg.Tracer, Cache: cfg.Cache, Telemetry: cfg.Telemetry},
+	}
 	results, err := runner.Run(cfg.Scenario(), topologies)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,197 @@
+package phy
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/geom"
+)
+
+// logger is a Handler that timestamps every indication on its own lane's
+// scheduler, producing a per-radio event log for byte-level comparison
+// between runs.
+type logger struct {
+	sched *des.Scheduler
+	log   []string
+}
+
+func (l *logger) note(ev string) {
+	l.log = append(l.log, fmt.Sprintf("%d:%s", l.sched.Now(), ev))
+}
+func (l *logger) OnCarrierBusy()  { l.note("busy") }
+func (l *logger) OnCarrierIdle()  { l.note("idle") }
+func (l *logger) OnFrame(f Frame) { l.note(fmt.Sprintf("frame seq=%d src=%d", f.Seq, f.Src)) }
+func (l *logger) OnFrameError()   { l.note("err") }
+func (l *logger) OnTxDone()       { l.note("txdone") }
+func (l *logger) OnNAVHint(f Frame) {
+	l.note(fmt.Sprintf("hint seq=%d src=%d", f.Seq, f.Src))
+}
+
+// partitionedRig builds two clusters of three radios each, far enough
+// apart that only the middle radios of each cluster are in mutual range,
+// split into two lanes along the cluster boundary.
+func partitionedRig(t *testing.T, params Params) (*des.Group, *Channel, []*Radio, []*logger) {
+	t.Helper()
+	s0 := des.New(1)
+	s1 := des.New(2)
+	ch, err := NewChannel(s0, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster A around x=0, cluster B around x=0.9: radios 2 and 3 are in
+	// cross-cluster range (0.5 apart), the rest only hear their own side.
+	positions := []geom.Point{
+		{X: -1.1, Y: 0}, {X: -0.3, Y: 0}, {X: 0.2, Y: 0},
+		{X: 0.7, Y: 0}, {X: 1.2, Y: 0}, {X: 1.5, Y: 0},
+	}
+	radios := make([]*Radio, len(positions))
+	logs := make([]*logger, len(positions))
+	laneOf := make([]int32, len(positions))
+	for i, pos := range positions {
+		lane := int32(0)
+		sched := s0
+		if i >= 3 {
+			lane, sched = 1, s1
+		}
+		logs[i] = &logger{sched: sched}
+		radios[i] = ch.AddRadio(pos, logs[i])
+		laneOf[i] = lane
+	}
+	if err := ch.ConfigurePartitions([]*des.Scheduler{s0, s1}, laneOf); err != nil {
+		t.Fatal(err)
+	}
+	g := &des.Group{
+		Parts:     []*des.Scheduler{s0, s1},
+		Lookahead: params.PropDelay,
+		Flush:     ch.FlushCross,
+	}
+	return g, ch, radios, logs
+}
+
+// crossTraffic schedules a self-repeating transmission on each of the two
+// boundary radios (2 in lane 0, 3 in lane 1), so signals continuously
+// cross the partition boundary and also collide at awkward offsets.
+func crossTraffic(g *des.Group, radios []*Radio, until des.Time) {
+	seq := []int64{0, 0}
+	for i, id := range []int{2, 3} {
+		i, r := i, radios[id]
+		sched := g.Parts[i]
+		interval := des.Time(900+100*i) * des.Microsecond
+		var send func()
+		send = func() {
+			seq[i]++
+			r.Transmit(Frame{Type: Data, Src: r.ID(), Dst: Broadcast, Bytes: 20, Seq: seq[i]}, Omni)
+			if sched.Now()+interval <= until {
+				sched.Schedule(interval, send)
+			}
+		}
+		// Staggered starts so the first exchanges decode cleanly; the
+		// incommensurate intervals drift the senders into occasional
+		// overlap later, exercising cross-lane collision damage too.
+		sched.At(des.Time(1+500*i)*des.Microsecond, send)
+	}
+}
+
+func runCross(t *testing.T, params Params, workers int) ([][]string, *Channel) {
+	t.Helper()
+	const until = 20 * des.Millisecond
+	g, ch, radios, logs := partitionedRig(t, params)
+	crossTraffic(g, radios, until)
+	g.Run(until, workers)
+	out := make([][]string, len(logs))
+	for i, l := range logs {
+		out[i] = l.log
+	}
+	return out, ch
+}
+
+func TestCrossLaneDelivery(t *testing.T) {
+	logs, ch := runCross(t, DefaultParams(), 1)
+	// Radio 3 (lane 1) must decode frames from radio 2 (lane 0) and vice
+	// versa: cross-lane signals really arrive.
+	for _, pair := range [][2]int{{3, 2}, {2, 3}} {
+		rx, src := pair[0], pair[1]
+		found := false
+		for _, ev := range logs[rx] {
+			if strings.Contains(ev, fmt.Sprintf("frame seq=1 src=%d", src)) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("radio %d never decoded seq=1 from cross-lane radio %d; log head %v", rx, src, logs[rx][:min(6, len(logs[rx]))])
+		}
+	}
+	// An off-boundary radio (0, only in range of its own cluster's silent
+	// radio 1) hears nothing at all.
+	for _, ev := range logs[0] {
+		t.Errorf("radio 0 unexpectedly observed %q", ev)
+	}
+	if ch.TxCount(Data) == 0 {
+		t.Fatal("no transmissions accounted")
+	}
+}
+
+func TestCrossLaneWorkerInvariance(t *testing.T) {
+	for _, params := range []Params{
+		DefaultParams(),
+		func() Params {
+			p := DefaultParams()
+			p.NAVOracle = true
+			return p
+		}(),
+	} {
+		want, wantCh := runCross(t, params, 1)
+		for _, workers := range []int{2, 4} {
+			got, gotCh := runCross(t, params, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("NAVOracle=%v workers=%d: event logs diverged from workers=1", params.NAVOracle, workers)
+			}
+			for _, ft := range []FrameType{RTS, CTS, Data, ACK, Hello} {
+				if gotCh.TxAirtime(ft) != wantCh.TxAirtime(ft) || gotCh.TxCount(ft) != wantCh.TxCount(ft) {
+					t.Errorf("NAVOracle=%v workers=%d: %v accounting diverged", params.NAVOracle, workers, ft)
+				}
+			}
+		}
+	}
+}
+
+// TestConfigurePartitionsIdentity checks that a one-lane configuration is
+// the identity: the channel keeps running on its original pools.
+func TestConfigurePartitionsIdentity(t *testing.T) {
+	sched := des.New(1)
+	ch, err := NewChannel(sched, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ch.AddRadio(geom.Point{}, &logger{sched: sched})
+	if err := ch.ConfigurePartitions([]*des.Scheduler{sched}, []int32{0}); err != nil {
+		t.Fatal(err)
+	}
+	if r.lane != ch.lanes[0] {
+		t.Fatal("identity configuration moved the radio off lane 0")
+	}
+}
+
+func TestConfigurePartitionsErrors(t *testing.T) {
+	sched := des.New(1)
+	ch, err := NewChannel(sched, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.AddRadio(geom.Point{}, &logger{sched: sched})
+	if err := ch.ConfigurePartitions(nil, nil); err == nil {
+		t.Error("no schedulers: want error")
+	}
+	if err := ch.ConfigurePartitions([]*des.Scheduler{des.New(9)}, []int32{0}); err == nil {
+		t.Error("foreign scheduler 0: want error")
+	}
+	if err := ch.ConfigurePartitions([]*des.Scheduler{sched}, []int32{0, 0}); err == nil {
+		t.Error("assignment length mismatch: want error")
+	}
+	if err := ch.ConfigurePartitions([]*des.Scheduler{sched}, []int32{5}); err == nil {
+		t.Error("lane index out of range: want error")
+	}
+}

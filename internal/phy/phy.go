@@ -248,6 +248,7 @@ type Radio struct {
 	id      NodeID
 	pos     geom.Point
 	ch      *Channel
+	lane    *lane // owning partition; lanes[0] unless partitioned
 	handler Handler
 
 	transmitting bool
@@ -303,11 +304,12 @@ func (r *Radio) Transmit(f Frame, m Mode) (des.Time, error) {
 		sig.missed = true
 	}
 	airtime := r.ch.params.Airtime(f.Bytes)
-	r.ch.txTime[f.Type] += airtime
-	r.ch.txCount[f.Type]++
+	l := r.lane
+	l.txTime[f.Type] += airtime
+	l.txCount[f.Type]++
 	r.ch.metrics.TxFrames.Inc()
 	r.ch.propagate(r, f, m, airtime)
-	r.ch.sched.ScheduleEvent(airtime, &r.txDone)
+	l.sched.ScheduleEvent(airtime, &r.txDone)
 	return airtime, nil
 }
 
@@ -417,8 +419,10 @@ type Channel struct {
 	params Params
 	radios []*Radio
 
-	txTime  map[FrameType]des.Time
-	txCount map[FrameType]int64
+	// lanes hold the per-partition execution contexts (scheduler, object
+	// pools, airtime accounting, cross-partition outbox). The sequential
+	// kernel runs entirely on lanes[0]; see partition.go.
+	lanes   []*lane
 	metrics Metrics
 
 	// Spatial index: cell -> slot in buckets; buckets hold radio IDs in
@@ -428,13 +432,6 @@ type Channel struct {
 	buckets     [][]int32
 	usedBuckets int
 	gridDirty   bool
-	scratch     []int32 // candidate IDs gathered per transmission
-
-	// Free lists for per-delivery objects, so a steady-state transmission
-	// schedules its receiver events without allocating.
-	freeSigs   []*signal
-	freeEvents []*sigEvent
-	freeHints  []*navHintEvent
 }
 
 // cellKey addresses one grid cell (position divided by range, floored).
@@ -477,16 +474,18 @@ func (c *Channel) rebuildGrid() {
 }
 
 // gather collects the IDs of every radio in the 3×3 cell block around
-// pos into the channel's scratch buffer, sorted ascending so delivery
-// order matches a full ID-order scan bit for bit.
+// pos into lane l's scratch buffer, sorted ascending so delivery order
+// matches a full ID-order scan bit for bit. The grid itself is shared
+// across lanes but frozen before partitioned execution starts (no
+// mobility under partitioning), so concurrent gathers only read it.
 //
 //desalint:hotpath
-func (c *Channel) gather(pos geom.Point) []int32 {
+func (c *Channel) gather(l *lane, pos geom.Point) []int32 {
 	if c.gridDirty {
 		c.rebuildGrid()
 	}
 	center := c.cellOf(pos)
-	out := c.scratch[:0]
+	out := l.scratch[:0]
 	for dx := int32(-1); dx <= 1; dx++ {
 		for dy := int32(-1); dy <= 1; dy++ {
 			if slot, ok := c.cells[cellKey{x: center.x + dx, y: center.y + dy}]; ok {
@@ -495,17 +494,17 @@ func (c *Channel) gather(pos geom.Point) []int32 {
 		}
 	}
 	slices.Sort(out)
-	c.scratch = out
+	l.scratch = out
 	return out
 }
 
 // allocSignal takes a recycled signal or makes a new one.
 //
 //desalint:hotpath
-func (c *Channel) allocSignal(f Frame, power float64) *signal {
-	if n := len(c.freeSigs); n > 0 {
-		sig := c.freeSigs[n-1]
-		c.freeSigs = c.freeSigs[:n-1]
+func (l *lane) allocSignal(f Frame, power float64) *signal {
+	if n := len(l.freeSigs); n > 0 {
+		sig := l.freeSigs[n-1]
+		l.freeSigs = l.freeSigs[:n-1]
 		*sig = signal{frame: f, power: power}
 		return sig
 	}
@@ -513,49 +512,49 @@ func (c *Channel) allocSignal(f Frame, power float64) *signal {
 }
 
 // sigEvent delivers one signal edge (start or end) to one radio. Events
-// are pooled on the channel; an event recycles itself after firing, and
-// the end edge also recycles its signal (nothing references a signal
-// after signalEnd).
+// are pooled on the receiver's lane; an event recycles itself after
+// firing, and the end edge also recycles its signal (nothing references
+// a signal after signalEnd).
 type sigEvent struct {
-	ch  *Channel
-	dst *Radio
-	sig *signal
-	end bool
+	lane *lane
+	dst  *Radio
+	sig  *signal
+	end  bool
 }
 
 // Fire dispatches the signal edge and returns the event (and, on the end
-// edge, the signal) to the channel pools.
+// edge, the signal) to the lane pools.
 //
 //desalint:hotpath
 func (e *sigEvent) Fire() {
 	if e.end {
 		e.dst.signalEnd(e.sig)
-		e.ch.freeSigs = append(e.ch.freeSigs, e.sig)
+		e.lane.freeSigs = append(e.lane.freeSigs, e.sig)
 	} else {
 		e.dst.signalStart(e.sig)
 	}
 	e.sig = nil
 	e.dst = nil
-	e.ch.freeEvents = append(e.ch.freeEvents, e)
+	e.lane.freeEvents = append(e.lane.freeEvents, e)
 }
 
 // allocEvent takes a recycled delivery event or makes a new one.
 //
 //desalint:hotpath
-func (c *Channel) allocEvent(dst *Radio, sig *signal, end bool) *sigEvent {
-	if n := len(c.freeEvents); n > 0 {
-		e := c.freeEvents[n-1]
-		c.freeEvents = c.freeEvents[:n-1]
+func (l *lane) allocEvent(dst *Radio, sig *signal, end bool) *sigEvent {
+	if n := len(l.freeEvents); n > 0 {
+		e := l.freeEvents[n-1]
+		l.freeEvents = l.freeEvents[:n-1]
 		e.dst, e.sig, e.end = dst, sig, end
 		return e
 	}
-	return &sigEvent{ch: c, dst: dst, sig: sig, end: end}
+	return &sigEvent{lane: l, dst: dst, sig: sig, end: end}
 }
 
 // navHintEvent delivers an out-of-beam frame header under the NAV-oracle
 // ablation.
 type navHintEvent struct {
-	ch    *Channel
+	lane  *lane
 	dst   *Radio
 	frame Frame
 }
@@ -569,20 +568,20 @@ func (e *navHintEvent) Fire() {
 	}
 	e.dst = nil
 	e.frame = Frame{}
-	e.ch.freeHints = append(e.ch.freeHints, e)
+	e.lane.freeHints = append(e.lane.freeHints, e)
 }
 
 // allocHint takes a recycled NAV-hint event or makes a new one.
 //
 //desalint:hotpath
-func (c *Channel) allocHint(dst *Radio, f Frame) *navHintEvent {
-	if n := len(c.freeHints); n > 0 {
-		e := c.freeHints[n-1]
-		c.freeHints = c.freeHints[:n-1]
+func (l *lane) allocHint(dst *Radio, f Frame) *navHintEvent {
+	if n := len(l.freeHints); n > 0 {
+		e := l.freeHints[n-1]
+		l.freeHints = l.freeHints[:n-1]
 		e.dst, e.frame = dst, f
 		return e
 	}
-	return &navHintEvent{ch: c, dst: dst, frame: f}
+	return &navHintEvent{lane: l, dst: dst, frame: f}
 }
 
 // NewChannel creates a channel driven by the given scheduler.
@@ -591,10 +590,9 @@ func NewChannel(sched *des.Scheduler, params Params) (*Channel, error) {
 		return nil, err
 	}
 	return &Channel{
-		sched:   sched,
-		params:  params,
-		txTime:  make(map[FrameType]des.Time),
-		txCount: make(map[FrameType]int64),
+		sched:  sched,
+		params: params,
+		lanes:  []*lane{newLane(sched)},
 	}, nil
 }
 
@@ -609,7 +607,7 @@ func (c *Channel) SetMetrics(m Metrics) { c.metrics = m }
 // attachment order. The handler must be non-nil before the first event
 // fires; it may be set later via SetHandler to break construction cycles.
 func (c *Channel) AddRadio(pos geom.Point, handler Handler) *Radio {
-	r := &Radio{id: NodeID(len(c.radios)), pos: pos, ch: c, handler: handler}
+	r := &Radio{id: NodeID(len(c.radios)), pos: pos, ch: c, lane: c.lanes[0], handler: handler}
 	r.txDone.r = r
 	c.radios = append(c.radios, r)
 	c.gridDirty = true
@@ -634,17 +632,33 @@ func (c *Channel) NumRadios() int { return len(c.radios) }
 // the given frame type across the whole network. Because transmissions
 // overlap in space, the sum over types can exceed elapsed time — the
 // ratio Σ TxAirtime / elapsed is the network's spatial-reuse factor.
-func (c *Channel) TxAirtime(ft FrameType) des.Time { return c.txTime[ft] }
+// Accounting is kept per lane; getters sum over lanes (only valid
+// outside execution windows).
+func (c *Channel) TxAirtime(ft FrameType) des.Time {
+	var total des.Time
+	for _, l := range c.lanes {
+		total += l.txTime[ft]
+	}
+	return total
+}
 
 // TxCount returns how many frames of the given type went on the air.
-func (c *Channel) TxCount(ft FrameType) int64 { return c.txCount[ft] }
+func (c *Channel) TxCount(ft FrameType) int64 {
+	var total int64
+	for _, l := range c.lanes {
+		total += l.txCount[ft]
+	}
+	return total
+}
 
 // TotalTxAirtime sums TxAirtime over every frame type.
 func (c *Channel) TotalTxAirtime() des.Time {
 	var total des.Time
-	//desalint:commutative integer sum over des.Time; addition is order-independent
-	for _, t := range c.txTime {
-		total += t
+	for _, l := range c.lanes {
+		//desalint:commutative integer sum over des.Time; addition is order-independent
+		for _, t := range l.txTime {
+			total += t
+		}
 	}
 	return total
 }
@@ -656,7 +670,7 @@ func (c *Channel) Neighbors(id NodeID) []NodeID {
 		return nil
 	}
 	r2 := c.params.Range * c.params.Range
-	cands := c.gather(self.pos)
+	cands := c.gather(c.lanes[0], self.pos)
 	out := make([]NodeID, 0, len(cands))
 	for _, cand := range cands {
 		o := c.radios[cand]
@@ -671,12 +685,16 @@ func (c *Channel) Neighbors(id NodeID) []NodeID {
 // transmission: in range, inside the beam, and not the sender itself.
 // Candidates come from the spatial grid (the sender's cell block), and
 // the received-power computation is deferred until after the beam check —
-// out-of-beam neighbors never pay for a math.Pow.
+// out-of-beam neighbors never pay for a math.Pow. Receivers in another
+// lane get their deliveries staged on the source lane's outbox instead
+// of scheduled directly; FlushCross routes them between windows.
 //
 //desalint:hotpath
 func (c *Channel) propagate(src *Radio, f Frame, m Mode, airtime des.Time) {
+	l := src.lane
 	r2 := c.params.Range * c.params.Range
-	for _, cand := range c.gather(src.pos) {
+	now := l.sched.Now()
+	for _, cand := range c.gather(l, src.pos) {
 		dst := c.radios[cand]
 		if dst.id == src.id {
 			continue
@@ -686,7 +704,11 @@ func (c *Channel) propagate(src *Radio, f Frame, m Mode, airtime des.Time) {
 		}
 		if !m.Covers(src.pos.Bearing(dst.pos)) {
 			if c.params.NAVOracle {
-				c.sched.ScheduleEvent(c.params.PropDelay+airtime, c.allocHint(dst, f))
+				if dst.lane == l {
+					l.sched.ScheduleEvent(c.params.PropDelay+airtime, l.allocHint(dst, f))
+				} else {
+					l.stage(dst, f, 0, now+c.params.PropDelay+airtime, 0, true)
+				}
 			}
 			continue
 		}
@@ -698,8 +720,12 @@ func (c *Channel) propagate(src *Radio, f Frame, m Mode, airtime des.Time) {
 			}
 			power = m.Gain() / math.Pow(d, c.params.PathLoss)
 		}
-		sig := c.allocSignal(f, power)
-		c.sched.ScheduleEvent(c.params.PropDelay, c.allocEvent(dst, sig, false))
-		c.sched.ScheduleEvent(c.params.PropDelay+airtime, c.allocEvent(dst, sig, true))
+		if dst.lane != l {
+			l.stage(dst, f, power, now+c.params.PropDelay, now+c.params.PropDelay+airtime, false)
+			continue
+		}
+		sig := l.allocSignal(f, power)
+		l.sched.ScheduleEvent(c.params.PropDelay, l.allocEvent(dst, sig, false))
+		l.sched.ScheduleEvent(c.params.PropDelay+airtime, l.allocEvent(dst, sig, true))
 	}
 }

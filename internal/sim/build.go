@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 
 	"repro/internal/cache"
 	"repro/internal/des"
@@ -46,6 +47,12 @@ type Options struct {
 	// bypass the cache — like Tracer, the sink's side effects cannot be
 	// replayed from a cached result.
 	Telemetry telemetry.Sink
+	// Workers bounds the OS goroutines executing a partitioned run
+	// (Scenario.Partition; 0 means GOMAXPROCS). It is a pure execution
+	// knob: the partition layout — and therefore the result — is derived
+	// from the scenario alone, byte-identical for any Workers value, so
+	// Workers is deliberately absent from the result cache key.
+	Workers int
 }
 
 // Sim is a fully assembled, not-yet-started simulation.
@@ -72,6 +79,17 @@ type Sim struct {
 	starters []SelfDriven
 	delayRes *stats.Reservoir
 	tel      *telemetryCollector
+	parts    []*des.Scheduler // partition schedulers; parts[0] == Sched (len > 1 iff partitioned)
+	workers  int
+}
+
+// Partitions reports how many event-queue partitions the build planned
+// (1 for the sequential kernel).
+func (s *Sim) Partitions() int {
+	if len(s.parts) > 1 {
+		return len(s.parts)
+	}
+	return 1
 }
 
 // Result holds the per-run metrics for the measured inner nodes. Field
@@ -215,6 +233,24 @@ func Build(sc Scenario, opts Options) (*Sim, error) {
 		ch.AddRadio(pos, nil)
 	}
 
+	// Partitioned kernel: split large static scenarios into per-region
+	// event queues (DESIGN.md §14). The layout depends only on the
+	// scenario; partition p>0 gets its own scheduler with a seed derived
+	// from the protocol stream's.
+	plan := planPartition(sc, opts, topo)
+	if phyParams.PropDelay <= 0 {
+		plan = nil // zero lookahead cannot guarantee round progress
+	}
+	scheds := []*des.Scheduler{sched}
+	if plan != nil {
+		for p := 1; p < plan.parts; p++ {
+			scheds = append(scheds, des.New(derivePartitionSeed(sc.Seed^0x5eed, p)))
+		}
+		if err := ch.ConfigurePartitions(scheds, plan.laneOf); err != nil {
+			return nil, err
+		}
+	}
+
 	var tables []*neighbor.Table
 	if sc.Ablations.HelloBootstrap {
 		tables, err = neighbor.Bootstrap(sched, ch, neighbor.DefaultHelloConfig())
@@ -259,6 +295,15 @@ func Build(sc Scenario, opts Options) (*Sim, error) {
 	}
 	macCfg.BasicAccess = sc.Ablations.BasicAccess
 	macCfg.FastForward = sc.FastForward
+	if plan != nil {
+		// The analytic fast-forward jump (DESIGN.md §12) gates on
+		// ActivePending()==0 over the single global queue; a partition's
+		// queue only sees its own lane, so the gate would fire while
+		// another partition still holds active events. Force the
+		// sequential countdown — the partitioned kernel's determinism
+		// contract doesn't include the fast-forward bit-identity proof.
+		macCfg.FastForward = false
+	}
 	if sc.Ablations.AdaptiveRTS > 0 {
 		macCfg.AdaptiveRTSStaleness = des.Time(sc.Ablations.AdaptiveRTS)
 		macCfg.PiggybackLocation = true
@@ -285,13 +330,23 @@ func Build(sc Scenario, opts Options) (*Sim, error) {
 		Telemetry: telBuf,
 		delayRes:  delayRes,
 		tel:       tel,
+		parts:     scheds,
+		workers:   opts.Workers,
 	}
 	for i := 0; i < ch.NumRadios(); i++ {
 		id := phy.NodeID(i)
+		// Every node lives entirely on its partition's scheduler: its MAC
+		// timers, traffic arrivals and random draws all come from the
+		// owning lane, so a lane's event stream is self-contained between
+		// cross-partition flushes.
+		nodeSched := sched
+		if plan != nil {
+			nodeSched = scheds[plan.laneOf[i]]
+		}
 		var src mac.Source = traffic.Empty{}
 		if nbs := ch.Neighbors(id); len(nbs) > 0 {
 			src, err = buildSource(TrafficEnv{
-				Sched: sched, Rand: sched.Rand(), Neighbors: nbs, Spec: trafficSpec,
+				Sched: nodeSched, Rand: nodeSched.Rand(), Neighbors: nbs, Spec: trafficSpec,
 			})
 			if err != nil {
 				return nil, err
@@ -301,7 +356,7 @@ func Build(sc Scenario, opts Options) (*Sim, error) {
 		if delayRes != nil && i < topo.InnerCount() {
 			nodeCfg.OnDelivery = func(d des.Time) { delayRes.Add(d.Seconds()) }
 		}
-		s.Nodes[i], err = mac.New(sched, ch.Radio(id), tables[i], src, nodeCfg)
+		s.Nodes[i], err = mac.New(nodeSched, ch.Radio(id), tables[i], src, nodeCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -345,7 +400,26 @@ func (s *Sim) Run() (*Result, error) {
 			return nil, err
 		}
 	}
-	s.Sched.Run(start + duration)
+	if len(s.parts) > 1 {
+		// Partitioned kernel: conservative barrier windows with the PHY
+		// propagation delay as lookahead (the earliest cross-partition
+		// consequence of any event is a signal START edge one propagation
+		// delay later; airtime only extends the END edge). Workers is an
+		// execution knob only — the round structure is fixed by the
+		// layout, so any worker count produces identical results.
+		workers := s.workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		g := &des.Group{
+			Parts:     s.parts,
+			Lookahead: s.Channel.Params().PropDelay,
+			Flush:     s.Channel.FlushCross,
+		}
+		g.Run(start+duration, workers)
+	} else {
+		s.Sched.Run(start + duration)
+	}
 	if s.tel != nil {
 		if err := s.tel.finish(s); err != nil {
 			return nil, err

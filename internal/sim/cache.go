@@ -20,7 +20,11 @@ import (
 // alter a Result for the same scenario bytes (MAC/PHY/DES semantics,
 // RNG consumption order, metric definitions) so stale entries become
 // unreachable instead of wrong.
-const EngineFingerprint = "repro-sim/v1"
+//
+// v2: the grid-partitioned parallel kernel (DESIGN.md §14) changes the
+// event order of large auto-partitioned scenarios relative to v1's
+// always-sequential kernel.
+const EngineFingerprint = "repro-sim/v2"
 
 // optionsFingerprint describes the cacheable Options state. Runs are
 // only cached when no runtime overrides are attached, so today this is
@@ -33,9 +37,17 @@ const optionsFingerprint = "default"
 // the options fingerprint. FastForward is normalized away before
 // hashing: it is a pure performance switch whose results are
 // bit-identical by construction (golden-enforced), so a warm cache
-// filled without it serves fast-forward runs and vice versa.
+// filled without it serves fast-forward runs and vice versa. Partition
+// "auto" is normalized to its synonym "" (the default); "off" is NOT
+// normalized, because forcing the sequential kernel changes results on
+// scenarios large enough to auto-partition. Options.Workers never
+// enters the key at all — the partition layout, and with it the result,
+// is worker-count independent.
 func ScenarioKey(sc Scenario) (cache.Key, error) {
 	sc.FastForward = false
+	if sc.Partition == "auto" {
+		sc.Partition = ""
+	}
 	b, err := MarshalScenario(sc)
 	if err != nil {
 		return cache.Key{}, err

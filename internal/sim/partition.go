@@ -1,0 +1,137 @@
+package sim
+
+// Partition planning for the parallel intra-run kernel. A plan splits
+// the node set into per-region event queues executed under conservative
+// synchronization (internal/des.Group + internal/phy lanes).
+//
+// The layout is a pure function of the scenario: node positions (drawn
+// from the scenario seed), the transmission range, and the partition
+// switch. It NEVER depends on Options.Workers — workers only execute
+// the fixed layout, so a partitioned run's results are byte-identical
+// for any worker count. Scenarios too small to profit, or using
+// features whose semantics are pinned to a single global event queue,
+// plan as sequential (nil) and run the exact historical kernel.
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+const (
+	// minPartitionNodes is the auto-partition floor. Below it the
+	// per-round barrier cost outweighs the parallelism, and every
+	// paper-scale scenario (Rings=3, N≤8 → ≤72 nodes) stays on the
+	// sequential kernel with its historically pinned event order.
+	minPartitionNodes = 192
+	// maxPartitions bounds the fan-out; more partitions shrink windows
+	// (horizons tighten toward the global minimum) without adding useful
+	// concurrency beyond the machine's cores.
+	maxPartitions = 8
+)
+
+// partitionPlan assigns every node to a partition lane.
+type partitionPlan struct {
+	laneOf []int32 // node ID -> partition index
+	parts  int
+}
+
+// partitionEligible applies the feature gates. Mobility moves radios
+// across region boundaries mid-run (the frozen grid and lane ownership
+// would go stale); telemetry sampling, tracing and delay reservoirs
+// consume the global queue's RNG/event order that their goldens pin;
+// HELLO bootstrap runs before measurement on the single global queue.
+func partitionEligible(sc Scenario, opts Options) bool {
+	if sc.Partition == "off" {
+		return false
+	}
+	if sc.Mobility.Kind == "waypoint" {
+		return false
+	}
+	if sc.Telemetry.Enabled() {
+		return false
+	}
+	if opts.Tracer != nil || sc.Trace.Kind == "recorder" {
+		return false
+	}
+	if sc.SampleDelays {
+		return false
+	}
+	if sc.Ablations.HelloBootstrap {
+		return false
+	}
+	return true
+}
+
+// planPartition derives the partition layout for sc over placement topo,
+// or nil when the run must stay sequential. Nodes are bucketed into
+// macro-cells of side 2R (a cell's interior nodes cannot reach past the
+// neighboring cells), the occupied cells ordered row-major, and
+// consecutive cells grouped into at most maxPartitions partitions
+// balanced by node count. Everything here is deterministic given the
+// scenario, so the same scenario always produces the same layout.
+func planPartition(sc Scenario, opts Options, topo *topology.Topology) *partitionPlan {
+	if !partitionEligible(sc, opts) {
+		return nil
+	}
+	n := len(topo.Positions)
+	if n < minPartitionNodes {
+		return nil
+	}
+	side := 2 * topo.Radius
+	if side <= 0 {
+		return nil
+	}
+	type macroCell struct{ x, y int32 }
+	cells := make(map[macroCell][]int32)
+	for i, p := range topo.Positions {
+		k := macroCell{x: int32(math.Floor(p.X / side)), y: int32(math.Floor(p.Y / side))}
+		cells[k] = append(cells[k], int32(i))
+	}
+	if len(cells) < 2 {
+		return nil
+	}
+	keys := make([]macroCell, 0, len(cells))
+	//desalint:commutative keys are sorted row-major immediately below; collection order is irrelevant
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].y != keys[j].y {
+			return keys[i].y < keys[j].y
+		}
+		return keys[i].x < keys[j].x
+	})
+	target := (n + maxPartitions - 1) / maxPartitions
+	laneOf := make([]int32, n)
+	part, count := 0, 0
+	for _, k := range keys {
+		if count >= target && part+1 < maxPartitions {
+			part++
+			count = 0
+		}
+		for _, id := range cells[k] {
+			laneOf[id] = int32(part)
+		}
+		count += len(cells[k])
+	}
+	if part == 0 {
+		return nil
+	}
+	return &partitionPlan{laneOf: laneOf, parts: part + 1}
+}
+
+// derivePartitionSeed derives partition p's scheduler seed from the
+// protocol-stream seed with a splitmix64 finalizer: well-mixed,
+// collision-free across small p, and stable forever (the seed sequence
+// is part of the determinism contract for partitioned runs).
+func derivePartitionSeed(base int64, p int) int64 {
+	z := uint64(base) + uint64(p)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}

@@ -184,6 +184,17 @@ type Scenario struct {
 	// enforce this) — and is therefore excluded from the result cache
 	// key.
 	FastForward bool `json:"fastforward,omitempty"`
+	// Partition controls the grid-partitioned parallel kernel
+	// (DESIGN.md §14). "" or "auto" lets large static scenarios split
+	// into per-region event queues executed by Options.Workers
+	// goroutines; "off" forces the single sequential queue. The layout
+	// is derived from the scenario alone — never from the worker count —
+	// so a partitioned run is byte-identical for any Workers value. A
+	// partitioned layout CAN legitimately differ from the sequential
+	// kernel on scenarios large enough to split (independent per-region
+	// random streams), which is why the switch lives in the scenario and
+	// its cache key rather than in runtime Options.
+	Partition string `json:"partition,omitempty"`
 }
 
 // ResolvedScheme parses the scenario's scheme name through the beam-mode
@@ -238,6 +249,11 @@ func (sc Scenario) Validate() error {
 		// envelope of DESIGN.md §12), so the scenario would not run the
 		// way it reads. Reject the combination up front instead.
 		return fmt.Errorf("sim: fastforward: incompatible with phy.navOracle (oracle NAV hints interrupt backoff countdowns mid-slot, so the analytic jump is disabled; drop one of the two flags)")
+	}
+	switch sc.Partition {
+	case "", "auto", "off":
+	default:
+		return fmt.Errorf("sim: partition: unknown mode %q (want \"auto\" or \"off\")", sc.Partition)
 	}
 	return sc.validateTelemetry()
 }
