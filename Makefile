@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build lint lint-budget lint-extra test bench bench-smoke bench-compare fmt-check scenarios sweep-cached telemetry-smoke fastforward-smoke parallel-smoke
+.PHONY: all build lint lint-budget lint-extra test bench bench-smoke bench-compare fmt-check scenarios sweep-cached telemetry-smoke fastforward-smoke parallel-smoke scale-smoke
 
 all: build lint test
 
@@ -103,6 +103,22 @@ parallel-smoke:
 	$(GO) run ./cmd/netsim -scenario internal/sim/testdata/parallel-uniform.json -workers 4 > .par-w4.txt
 	cmp .par-w1.txt .par-w4.txt
 	rm -f .par-w1.txt .par-w4.txt
+
+# Large-N end-to-end smoke: the committed ~10k-node uniform scenario
+# (kept in testdata/scale/ so the `scenarios` glob skips it) must build,
+# run, and export bounded telemetry inside the same wall-clock budget
+# pattern as lint-budget. It exercises the whole scale path at once:
+# batched Build, the incremental grid, and the telemetry.maxNodes
+# cardinality cap (the header must report the 4-node sample).
+scale-smoke:
+	@start=$$(date +%s); \
+	$(GO) run ./cmd/netsim -scenario internal/sim/testdata/scale/uniform-10k.json -telemetry .scale.jsonl || exit 1; \
+	grep -q '"sampledNodes":4' .scale.jsonl || { echo "telemetry header lacks the bounded-cardinality sample count"; exit 1; }; \
+	rm -f .scale.jsonl; \
+	end=$$(date +%s); \
+	elapsed=$$((end - start)); \
+	echo "scale-smoke took $${elapsed}s (budget 120s)"; \
+	if [ $$elapsed -gt 120 ]; then echo "scale-smoke exceeded the 120s budget"; exit 1; fi
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -12,6 +12,7 @@ package repro
 import (
 	"io"
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/cache"
@@ -535,6 +536,95 @@ func BenchmarkParallelKernel(b *testing.B) {
 	b.Run("seq", func(b *testing.B) { run(b, parallelKernelBench("off"), 1) })
 	b.Run("k1", func(b *testing.B) { run(b, parallelKernelBench(""), 1) })
 	b.Run("k4", func(b *testing.B) { run(b, parallelKernelBench(""), 4) })
+}
+
+// scaleBench is the committed large-N scale scenario (DESIGN.md §15): a
+// uniform field of Rings²·N = 10240 saturated nodes over a disk of
+// radius 32R — two orders of magnitude past paper scale, sized so one
+// iteration stays sub-second. The same shape (at the same node count)
+// is committed as internal/sim/testdata/scale/uniform10k.json for
+// `make scale-smoke`.
+func scaleBench() sim.Scenario {
+	return sim.Scenario{
+		Scheme: "DRTS-DCTS", BeamwidthDeg: 60, Seed: 7,
+		Duration: sim.Duration(10 * des.Millisecond),
+		Topology: sim.TopologySpec{Kind: "uniform", N: 10, Rings: 32},
+	}
+}
+
+// BenchmarkBuildLargeN measures scenario assembly alone — topology draw,
+// radios, neighbor tables, traffic sources, MAC instances — at 10⁴
+// nodes. The headline column is allocs/op: Build is required to do O(N)
+// work with O(1) allocations per node, and the -compare gate holds the
+// line.
+func BenchmarkBuildLargeN(b *testing.B) {
+	sc := scaleBench()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Build(sc, sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// mobilityChurn measures the spatial-index cost of mobility: each
+// iteration teleports a small batch of radios (waypoint-style random
+// repositioning) and then runs one neighbor query, which forces the
+// index to absorb the moves. With incremental migration the cost is
+// O(moved); the fullrebuild variant forces the historical all-or-nothing
+// reindex of every radio for the paired ≥10× comparison.
+func mobilityChurn(b *testing.B, fullRebuild bool) {
+	const (
+		n       = 10_000
+		side    = 100  // radios per row
+		spacing = 0.35 // fraction of Range between neighbors
+		moved   = 16   // radios repositioned per iteration
+	)
+	sched := des.New(1)
+	ch, err := phy.NewChannel(sched, phy.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	handlers := make([]discard, n)
+	radios := make([]*phy.Radio, n)
+	for i := range radios {
+		pos := geom.Point{X: float64(i%side) * spacing, Y: float64(i/side) * spacing}
+		radios[i] = ch.AddRadio(pos, &handlers[i])
+	}
+	ch.SetFullRebuild(fullRebuild)
+	ch.Neighbors(0) // settle the initial index outside the timer
+	rng := rand.New(rand.NewSource(42))
+	width := float64(side) * spacing
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < moved; j++ {
+			radios[rng.Intn(n)].SetPos(geom.Point{X: rng.Float64() * width, Y: rng.Float64() * width})
+		}
+		ch.Neighbors(0)
+	}
+}
+
+func BenchmarkMobilityChurn(b *testing.B) {
+	b.Run("incremental", func(b *testing.B) { mobilityChurn(b, false) })
+	b.Run("fullrebuild", func(b *testing.B) { mobilityChurn(b, true) })
+}
+
+// BenchmarkScaleSimulationSecond runs the committed 10240-node scale
+// scenario end to end (10 simulated milliseconds — the "second" in the
+// name follows the SimulationSecond naming family, normalized below).
+// Together with BuildLargeN and MobilityChurn it gates the scale story:
+// assembly, mobility churn, and steady-state event throughput.
+func BenchmarkScaleSimulationSecond(b *testing.B) {
+	sc := scaleBench()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunScenario(sc, sim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.MeanThroughputBps()
+	}
+	b.ReportMetric(last/1000, "Kbps/node")
 }
 
 // discard is a no-op PHY handler for micro-benches.

@@ -42,6 +42,18 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Sanity bounds on the flag path (-scenario goes through the full
+	// scenario validation instead): a mistyped -n should fail with a
+	// clear message, not try to materialize a billion-point slice.
+	const maxDensity = 1 << 18 // ≈2.4M total nodes at the default 3 rings
+	switch {
+	case *n < 2:
+		return fmt.Errorf("-n: density must be at least 2, got %d", *n)
+	case *n > maxDensity:
+		return fmt.Errorf("-n: density %d exceeds the sanity bound %d (≈%d total nodes); edit the bound if you really mean it", *n, maxDensity, 9*maxDensity)
+	case *count < 1:
+		return fmt.Errorf("-count: must be at least 1, got %d", *count)
+	}
 	sc := sim.Scenario{Topology: sim.TopologySpec{Kind: *kind, N: *n}}
 	topoSeed := *seed
 	if *scenarioPath != "" {

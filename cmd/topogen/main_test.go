@@ -94,6 +94,15 @@ func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-scenario", "/nonexistent.json"}); err == nil {
 		t.Error("missing scenario file should fail")
 	}
+	if err := run([]string{"-n", "1"}); err == nil || !strings.Contains(err.Error(), "-n") {
+		t.Errorf("undersized -n should fail with a clear message, got %v", err)
+	}
+	if err := run([]string{"-n", "99999999"}); err == nil || !strings.Contains(err.Error(), "sanity bound") {
+		t.Errorf("absurd -n should hit the sanity bound, got %v", err)
+	}
+	if err := run([]string{"-count", "0"}); err == nil || !strings.Contains(err.Error(), "-count") {
+		t.Errorf("zero -count should fail, got %v", err)
+	}
 }
 
 func TestRunGridKind(t *testing.T) {

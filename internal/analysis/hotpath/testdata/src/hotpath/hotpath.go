@@ -149,3 +149,38 @@ func (c *countdown) badPerSlotLoop(now, slot int) {
 		})
 	}
 }
+
+// grid models the incremental spatial index (DESIGN.md §15): radios
+// hash into cells, each cell owning a reused bucket of IDs.
+type grid struct {
+	cells   map[int]int
+	buckets [][]int32
+}
+
+// goodMigrate is the sanctioned cell-migration shape: swap-remove the
+// ID from its source bucket and append it into the destination's
+// reused storage — O(moved) work touching two buckets, nothing
+// allocated while capacity lasts.
+//
+//desalint:hotpath
+func (g *grid) goodMigrate(id int32, from, to int) {
+	b := g.buckets[from]
+	for i, v := range b {
+		if v == id {
+			b[i] = b[len(b)-1]
+			g.buckets[from] = b[:len(b)-1]
+			break
+		}
+	}
+	g.buckets[to] = append(g.buckets[to], id)
+}
+
+// badMigrate rebuilds the whole index for a single move — a fresh cell
+// map and fresh bucket storage per call, the O(N) rebuild-per-move the
+// incremental path exists to eliminate, so the analyzer must flag it.
+//
+//desalint:hotpath
+func (g *grid) badMigrate(id int32, to int) {
+	g.cells = map[int]int{to: 0}         // want `map literal allocates`
+	g.buckets[0] = append([]int32{}, id) // want `append onto a fresh slice literal`
+}

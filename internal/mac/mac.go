@@ -330,8 +330,21 @@ var _ phy.Handler = (*Node)(nil)
 // New creates a MAC node bound to the given radio, neighbor table and
 // packet source, and installs itself as the radio's handler.
 func New(sched *des.Scheduler, radio *phy.Radio, table *neighbor.Table, src Source, cfg Config) (*Node, error) {
-	if err := cfg.Validate(); err != nil {
+	n := new(Node)
+	if err := NewInto(n, sched, radio, table, src, cfg); err != nil {
 		return nil, err
+	}
+	return n, nil
+}
+
+// NewInto initializes a caller-allocated Node in place and installs it
+// as the radio's handler. Bulk assembly (sim.Build) carves all N nodes
+// from one backing array and initializes them through here, so MAC
+// construction at large N costs O(1) allocations per node instead of a
+// separate heap object each (DESIGN.md §15).
+func NewInto(n *Node, sched *des.Scheduler, radio *phy.Radio, table *neighbor.Table, src Source, cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
 	if cfg.FastForward {
 		// Jump-safety preconditions (DESIGN.md §12). Oracle NAV hints can
@@ -347,15 +360,17 @@ func New(sched *des.Scheduler, radio *phy.Radio, table *neighbor.Table, src Sour
 			cfg.FastForward = false
 		}
 	}
-	n := &Node{
-		sched:    sched,
-		radio:    radio,
-		table:    table,
-		src:      src,
-		cfg:      cfg,
-		st:       stIdle,
-		cw:       cfg.CWMin,
-		lastData: make(map[phy.NodeID]int64, 16),
+	*n = Node{
+		sched: sched,
+		radio: radio,
+		table: table,
+		src:   src,
+		cfg:   cfg,
+		st:    stIdle,
+		cw:    cfg.CWMin,
+		// lastData is allocated lazily on first data delivery; most nodes
+		// in a large topology receive from a handful of senders, many from
+		// none at all.
 	}
 	n.resumeDeferenceFn = n.resumeDeference
 	n.difsElapsedFn = n.difsElapsed
@@ -366,7 +381,7 @@ func New(sched *des.Scheduler, radio *phy.Radio, table *neighbor.Table, src Sour
 	n.fireResponseFn = n.fireResponse
 	n.respQueue = make([]respParams, 0, 4)
 	radio.SetHandler(n)
-	return n, nil
+	return nil
 }
 
 // ID returns the node's PHY identifier.
@@ -832,6 +847,9 @@ func (n *Node) onData(f phy.Frame) {
 	if last, ok := n.lastData[f.Src]; ok && last == f.Seq {
 		n.stats.DupsSuppressed++
 	} else {
+		if n.lastData == nil {
+			n.lastData = make(map[phy.NodeID]int64, 8)
+		}
 		n.lastData[f.Src] = f.Seq
 		n.stats.DataDelivered++
 		n.stats.BitsDelivered += int64(f.Bytes) * 8

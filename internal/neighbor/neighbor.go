@@ -8,23 +8,28 @@ package neighbor
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/des"
 	"repro/internal/geom"
 	"repro/internal/phy"
 )
 
-// Table is one node's view of its neighbors' locations.
+// Table is one node's view of its neighbors' locations. Records live in
+// two parallel slices sorted by neighbor ID and looked up by binary
+// search: a node's degree is small and read-heavy lookups dominate, so
+// the compact layout beats a per-node map on both memory and locality
+// at large N (DESIGN.md §15).
 type Table struct {
 	self    phy.NodeID
 	selfPos geom.Point
-	entries map[phy.NodeID]entry
+	ids     []phy.NodeID // ascending
+	recs    []record     // parallel to ids
 }
 
-// entry is one neighbor record. Static entries (installed by Learn)
-// never go stale; timestamped entries (LearnAt) age.
-type entry struct {
+// record is one neighbor entry. Static records (installed by Learn)
+// never go stale; timestamped records (LearnAt) age.
+type record struct {
 	pos    geom.Point
 	at     des.Time
 	static bool
@@ -32,11 +37,34 @@ type entry struct {
 
 // NewTable creates an empty table for the node at selfPos.
 func NewTable(self phy.NodeID, selfPos geom.Point) *Table {
-	return &Table{self: self, selfPos: selfPos, entries: make(map[phy.NodeID]entry)}
+	return &Table{self: self, selfPos: selfPos}
 }
 
 // Self returns the owning node's ID.
 func (t *Table) Self() phy.NodeID { return t.self }
+
+// find returns the index of id and whether it is present.
+func (t *Table) find(id phy.NodeID) (int, bool) {
+	return slices.BinarySearch(t.ids, id)
+}
+
+// set upserts a record, keeping the ID slice sorted. Sequential bulk
+// loads arrive in ascending order and take the O(1) append path; an
+// out-of-order learn shifts the tail of the (degree-sized) slices.
+func (t *Table) set(id phy.NodeID, r record) {
+	if n := len(t.ids); n == 0 || t.ids[n-1] < id {
+		t.ids = append(t.ids, id)
+		t.recs = append(t.recs, r)
+		return
+	}
+	i, ok := t.find(id)
+	if ok {
+		t.recs[i] = r
+		return
+	}
+	t.ids = slices.Insert(t.ids, i, id)
+	t.recs = slices.Insert(t.recs, i, r)
+}
 
 // Learn records (or updates) a neighbor's position as static knowledge
 // that never goes stale (the paper's perfect-neighbor-protocol
@@ -45,7 +73,7 @@ func (t *Table) Learn(id phy.NodeID, pos geom.Point) {
 	if id == t.self {
 		return
 	}
-	t.entries[id] = entry{pos: pos, static: true}
+	t.set(id, record{pos: pos, static: true})
 }
 
 // LearnAt records a neighbor's position observed at simulated time at;
@@ -54,17 +82,18 @@ func (t *Table) LearnAt(id phy.NodeID, pos geom.Point, at des.Time) {
 	if id == t.self {
 		return
 	}
-	t.entries[id] = entry{pos: pos, at: at}
+	t.set(id, record{pos: pos, at: at})
 }
 
 // Age returns how stale the record for id is at time now: 0 for static
 // entries, now − learnedAt for timestamped ones, and ok=false when the
 // neighbor is unknown.
 func (t *Table) Age(id phy.NodeID, now des.Time) (age des.Time, ok bool) {
-	e, ok := t.entries[id]
+	i, ok := t.find(id)
 	if !ok {
 		return 0, false
 	}
+	e := &t.recs[i]
 	if e.static {
 		return 0, true
 	}
@@ -77,13 +106,25 @@ func (t *Table) Age(id phy.NodeID, now des.Time) (age des.Time, ok bool) {
 
 // Forget removes a neighbor.
 func (t *Table) Forget(id phy.NodeID) {
-	delete(t.entries, id)
+	if i, ok := t.find(id); ok {
+		t.ids = slices.Delete(t.ids, i, i+1)
+		t.recs = slices.Delete(t.recs, i, i+1)
+	}
+}
+
+// Clear forgets every neighbor, keeping the record storage for reuse.
+func (t *Table) Clear() {
+	t.ids = t.ids[:0]
+	t.recs = t.recs[:0]
 }
 
 // Position returns a neighbor's recorded position.
 func (t *Table) Position(id phy.NodeID) (geom.Point, bool) {
-	e, ok := t.entries[id]
-	return e.pos, ok
+	i, ok := t.find(id)
+	if !ok {
+		return geom.Point{}, false
+	}
+	return t.recs[i].pos, true
 }
 
 // Bearing returns the direction from this node's recorded own position
@@ -96,40 +137,53 @@ func (t *Table) Bearing(id phy.NodeID) (float64, error) {
 // the recorded position of the neighbor. Mobile nodes know their own
 // position exactly but only a possibly stale snapshot of others'.
 func (t *Table) BearingFrom(from geom.Point, id phy.NodeID) (float64, error) {
-	e, ok := t.entries[id]
+	i, ok := t.find(id)
 	if !ok {
 		return 0, fmt.Errorf("neighbor: node %d has no entry for %d", t.self, id)
 	}
-	return from.Bearing(e.pos), nil
+	return from.Bearing(t.recs[i].pos), nil
 }
 
 // SetSelfPos updates the node's recorded own position.
 func (t *Table) SetSelfPos(p geom.Point) { t.selfPos = p }
 
-// IDs returns the known neighbor IDs in ascending order.
+// IDs returns a copy of the known neighbor IDs in ascending order.
 func (t *Table) IDs() []phy.NodeID {
-	out := make([]phy.NodeID, 0, len(t.entries))
-	for id := range t.entries {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return slices.Clone(t.ids)
 }
 
 // Len returns the number of known neighbors.
-func (t *Table) Len() int { return len(t.entries) }
+func (t *Table) Len() int { return len(t.ids) }
 
 // GroundTruth builds one fully populated table per radio from the
 // channel's actual geometry — the paper's "assume a neighbor protocol"
 // taken at face value. Tables are indexed by node ID.
+//
+// The assembly is allocation-lean for large N: Table structs come from
+// one backing array, neighbor queries reuse one scratch buffer, and the
+// per-table record slices are carved from two shared append-grown
+// backings (capped subslices, so a later Learn reallocates privately
+// instead of stomping a sibling).
 func GroundTruth(ch *phy.Channel) []*Table {
-	tables := make([]*Table, ch.NumRadios())
-	for i := 0; i < ch.NumRadios(); i++ {
+	n := ch.NumRadios()
+	tables := make([]*Table, n)
+	backing := make([]Table, n)
+	var idsBack []phy.NodeID
+	var recBack []record
+	var nbs []phy.NodeID
+	for i := 0; i < n; i++ {
 		id := phy.NodeID(i)
-		t := NewTable(id, ch.Radio(id).Pos())
-		for _, nb := range ch.Neighbors(id) {
-			t.Learn(nb, ch.Radio(nb).Pos())
+		nbs = ch.NeighborsAppend(id, nbs[:0])
+		t := &backing[i]
+		t.self = id
+		t.selfPos = ch.Radio(id).Pos()
+		is, rs := len(idsBack), len(recBack)
+		for _, nb := range nbs {
+			idsBack = append(idsBack, nb)
+			recBack = append(recBack, record{pos: ch.Radio(nb).Pos(), static: true})
 		}
+		t.ids = idsBack[is:len(idsBack):len(idsBack)]
+		t.recs = recBack[rs:len(recBack):len(recBack)]
 		tables[i] = t
 	}
 	return tables
@@ -236,6 +290,7 @@ func PeriodicRefresh(sched *des.Scheduler, ch *phy.Channel, tables []*Table, int
 		return nil, fmt.Errorf("neighbor: %d tables for %d radios", len(tables), ch.NumRadios())
 	}
 	stopped := false
+	var scratch []phy.NodeID
 	var refresh func()
 	refresh = func() {
 		if stopped {
@@ -244,10 +299,9 @@ func PeriodicRefresh(sched *des.Scheduler, ch *phy.Channel, tables []*Table, int
 		for i, t := range tables {
 			id := phy.NodeID(i)
 			t.SetSelfPos(ch.Radio(id).Pos())
-			for _, old := range t.IDs() {
-				t.Forget(old)
-			}
-			for _, nb := range ch.Neighbors(id) {
+			t.Clear()
+			scratch = ch.NeighborsAppend(id, scratch[:0])
+			for _, nb := range scratch {
 				t.LearnAt(nb, ch.Radio(nb).Pos(), sched.Now())
 			}
 		}

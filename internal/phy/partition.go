@@ -98,6 +98,10 @@ func (c *Channel) ConfigurePartitions(scheds []*des.Scheduler, laneOf []int32) e
 	}
 	c.lanes = lanes
 	c.rebuildGrid()
+	// The rebuild leaves every bucket clean, so concurrent gathers only
+	// read the grid; freezing placement keeps it that way (SetPos now
+	// panics instead of racing).
+	c.frozen = true
 	return nil
 }
 

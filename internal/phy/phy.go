@@ -247,6 +247,7 @@ type signal struct {
 type Radio struct {
 	id      NodeID
 	pos     geom.Point
+	cell    cellKey // grid cell handle; valid while the index is built
 	ch      *Channel
 	lane    *lane // owning partition; lanes[0] unless partitioned
 	handler Handler
@@ -268,12 +269,27 @@ func (r *Radio) Pos() geom.Point { return r.pos }
 
 // SetPos moves the radio (mobility support). Propagation decisions use
 // positions as of each transmission's start; a frame already in flight is
-// unaffected by later movement (quasi-static per frame). Moving a radio
-// invalidates the channel's spatial index, which is rebuilt lazily on the
-// next transmission.
+// unaffected by later movement (quasi-static per frame). The spatial
+// index absorbs the move incrementally: only the source and destination
+// cell buckets are touched, so mobility churn costs O(moved) radios, not
+// a full reindex (DESIGN.md §15). Moving a radio on a partitioned
+// channel panics — ConfigurePartitions freezes placement because the
+// grid is read concurrently by every lane.
 func (r *Radio) SetPos(p geom.Point) {
+	c := r.ch
+	if c.frozen {
+		panic("phy: SetPos on a partitioned channel (placement is frozen by ConfigurePartitions)")
+	}
 	r.pos = p
-	r.ch.gridDirty = true
+	if c.gridDirty || c.fullRebuild {
+		// No valid cell handles to migrate between; fall back to the
+		// all-or-nothing rebuild on the next gather.
+		c.gridDirty = true
+		return
+	}
+	if k := c.cellOf(p); k != r.cell {
+		c.migrate(r, k)
+	}
 }
 
 // Transmitting reports whether the radio is currently transmitting.
@@ -412,8 +428,10 @@ func (r *Radio) signalEnd(sig *signal) {
 // transmission range: every radio a transmission can reach lies in the
 // sender's cell or one of its eight neighbors, so propagation visits a
 // handful of candidates instead of scanning the whole network. The grid
-// is rebuilt lazily — AddRadio and SetPos only mark it dirty — so a burst
-// of mobility updates costs one rebuild, not one per move.
+// is built lazily after AddRadio; once built, SetPos migrates the moved
+// radio between its source and destination cell buckets in place, so a
+// burst of mobility updates costs O(moved) bucket edits, not a reindex
+// of every radio (DESIGN.md §15).
 type Channel struct {
 	sched  *des.Scheduler
 	params Params
@@ -426,12 +444,23 @@ type Channel struct {
 	metrics Metrics
 
 	// Spatial index: cell -> slot in buckets; buckets hold radio IDs in
-	// ascending order (deterministic delivery order). Bucket storage is
-	// reused across rebuilds.
+	// ascending order (deterministic delivery order). Moves migrate a
+	// radio between its source and destination buckets (swap-remove plus
+	// append); a touched bucket whose internal order broke is flagged in
+	// bucketDirty and re-sorted lazily by the next gather that reads it.
+	// Bucket storage is reused across rebuilds and migrations; emptied
+	// buckets park their slots on freeSlots.
 	cells       map[cellKey]int
 	buckets     [][]int32
+	bucketDirty []bool
+	freeSlots   []int
 	usedBuckets int
 	gridDirty   bool
+	fullRebuild bool
+	// frozen marks a partitioned channel: the grid is read concurrently
+	// by every lane, so radio placement must not change
+	// (ConfigurePartitions sets it; SetPos panics).
+	frozen bool
 }
 
 // cellKey addresses one grid cell (position divided by range, floored).
@@ -445,8 +474,13 @@ func (c *Channel) cellOf(p geom.Point) cellKey {
 	return cellKey{x: int32(math.Floor(p.X * inv)), y: int32(math.Floor(p.Y * inv))}
 }
 
-// rebuildGrid reindexes every radio. Buckets fill in radio-ID order, so
-// each stays sorted without an explicit sort.
+// rebuildGrid reindexes every radio and refreshes the cell handles.
+// Buckets fill in radio-ID order, so each stays sorted without an
+// explicit sort. Backing arrays are reused, except that a bucket whose
+// occupancy fell below 25% of its capacity is reallocated tight and
+// slots past the used range are released — otherwise bucket storage
+// grows to the largest-ever occupancy and stays there, which is
+// permanent ballast at large N.
 func (c *Channel) rebuildGrid() {
 	for i := 0; i < c.usedBuckets; i++ {
 		c.buckets[i] = c.buckets[i][:0]
@@ -457,8 +491,10 @@ func (c *Channel) rebuildGrid() {
 		clear(c.cells)
 	}
 	c.usedBuckets = 0
+	c.freeSlots = c.freeSlots[:0]
 	for _, r := range c.radios {
 		k := c.cellOf(r.pos)
+		r.cell = k
 		slot, ok := c.cells[k]
 		if !ok {
 			if c.usedBuckets == len(c.buckets) {
@@ -470,7 +506,78 @@ func (c *Channel) rebuildGrid() {
 		}
 		c.buckets[slot] = append(c.buckets[slot], int32(r.id))
 	}
+	for i := 0; i < c.usedBuckets; i++ {
+		if b := c.buckets[i]; cap(b) >= 8 && len(b)*4 < cap(b) {
+			c.buckets[i] = append(make([]int32, 0, len(b)), b...)
+		}
+	}
+	for i := c.usedBuckets; i < len(c.buckets); i++ {
+		c.buckets[i] = nil
+	}
+	if cap(c.bucketDirty) < len(c.buckets) {
+		c.bucketDirty = make([]bool, len(c.buckets))
+	} else {
+		c.bucketDirty = c.bucketDirty[:len(c.buckets)]
+		clear(c.bucketDirty)
+	}
 	c.gridDirty = false
+}
+
+// migrate moves radio r (whose position is already updated) from the
+// bucket of its current cell handle into the bucket of cell k. The
+// source bucket uses swap-remove — O(1), order restored lazily — and
+// the destination appends; only these two buckets are touched, so a
+// burst of mobility costs O(moved) rather than a full reindex.
+//
+//desalint:hotpath
+func (c *Channel) migrate(r *Radio, k cellKey) {
+	id := int32(r.id)
+	oldSlot := c.cells[r.cell]
+	b := c.buckets[oldSlot]
+	idx := -1
+	if c.bucketDirty[oldSlot] {
+		for i, v := range b {
+			if v == id {
+				idx = i
+				break
+			}
+		}
+	} else if i, ok := slices.BinarySearch(b, id); ok {
+		idx = i
+	}
+	last := len(b) - 1
+	if idx != last {
+		b[idx] = b[last]
+		c.bucketDirty[oldSlot] = true
+	}
+	c.buckets[oldSlot] = b[:last]
+	if last == 0 {
+		delete(c.cells, r.cell)
+		c.freeSlots = append(c.freeSlots, oldSlot)
+		c.bucketDirty[oldSlot] = false
+	}
+
+	slot, ok := c.cells[k]
+	if !ok {
+		if n := len(c.freeSlots); n > 0 {
+			slot = c.freeSlots[n-1]
+			c.freeSlots = c.freeSlots[:n-1]
+		} else {
+			if c.usedBuckets == len(c.buckets) {
+				c.buckets = append(c.buckets, nil)
+				c.bucketDirty = append(c.bucketDirty, false)
+			}
+			slot = c.usedBuckets
+			c.usedBuckets++
+		}
+		c.cells[k] = slot
+	}
+	nb := c.buckets[slot]
+	if len(nb) > 0 && nb[len(nb)-1] > id {
+		c.bucketDirty[slot] = true
+	}
+	c.buckets[slot] = append(nb, id)
+	r.cell = k
 }
 
 // gather collects the IDs of every radio in the 3×3 cell block around
@@ -489,6 +596,15 @@ func (c *Channel) gather(l *lane, pos geom.Point) []int32 {
 	for dx := int32(-1); dx <= 1; dx++ {
 		for dy := int32(-1); dy <= 1; dy++ {
 			if slot, ok := c.cells[cellKey{x: center.x + dx, y: center.y + dy}]; ok {
+				if c.bucketDirty[slot] {
+					// Restore the per-bucket sorted order broken by a
+					// migration's swap-remove or append. Only ever true on
+					// the sequential kernel: a partitioned channel rebuilds
+					// (clearing every flag) and then freezes placement, so
+					// concurrent gathers never write.
+					slices.Sort(c.buckets[slot])
+					c.bucketDirty[slot] = false
+				}
 				out = append(out, c.buckets[slot]...)
 			}
 		}
@@ -599,6 +715,14 @@ func NewChannel(sched *des.Scheduler, params Params) (*Channel, error) {
 // Params returns the channel configuration.
 func (c *Channel) Params() Params { return c.params }
 
+// SetFullRebuild forces the all-or-nothing reindex strategy: every
+// SetPos marks the whole index dirty and the next gather rebuilds it
+// from scratch, instead of migrating the moved radio between its source
+// and destination cells. Incremental migration is the default; the
+// forced mode exists for the differential mobility tests and the
+// mobility-churn benchmark baseline.
+func (c *Channel) SetFullRebuild(v bool) { c.fullRebuild = v }
+
 // SetMetrics installs telemetry counters for the channel's frame
 // accounting. The zero Metrics value (all nil) disables them.
 func (c *Channel) SetMetrics(m Metrics) { c.metrics = m }
@@ -612,6 +736,26 @@ func (c *Channel) AddRadio(pos geom.Point, handler Handler) *Radio {
 	c.radios = append(c.radios, r)
 	c.gridDirty = true
 	return r
+}
+
+// AddRadios attaches one handler-less radio per position (IDs assigned
+// densely in slice order) from a single batched backing array — the
+// large-N assembly path, costing O(1) allocations for the whole batch
+// instead of one heap object per radio. Handlers are attached afterwards
+// via SetHandler, before the first event fires.
+func (c *Channel) AddRadios(positions []geom.Point) {
+	backing := make([]Radio, len(positions))
+	c.radios = slices.Grow(c.radios, len(positions))
+	for i, pos := range positions {
+		r := &backing[i]
+		r.id = NodeID(len(c.radios))
+		r.pos = pos
+		r.ch = c
+		r.lane = c.lanes[0]
+		r.txDone.r = r
+		c.radios = append(c.radios, r)
+	}
+	c.gridDirty = true
 }
 
 // SetHandler installs the MAC handler for a radio.
@@ -665,20 +809,30 @@ func (c *Channel) TotalTxAirtime() des.Time {
 
 // Neighbors returns the IDs of all radios within range of id, in ID order.
 func (c *Channel) Neighbors(id NodeID) []NodeID {
-	self := c.Radio(id)
-	if self == nil {
+	if c.Radio(id) == nil {
 		return nil
 	}
+	return c.NeighborsAppend(id, nil)
+}
+
+// NeighborsAppend appends the IDs of all radios within range of id to
+// dst (in ID order) and returns the extended slice. Passing a reused
+// buffer keeps bulk queries — one per node at build time — free of
+// per-call allocations. The result must be consumed before the next
+// gather on the channel (it is built from lane 0's scratch walk).
+func (c *Channel) NeighborsAppend(id NodeID, dst []NodeID) []NodeID {
+	self := c.Radio(id)
+	if self == nil {
+		return dst
+	}
 	r2 := c.params.Range * c.params.Range
-	cands := c.gather(c.lanes[0], self.pos)
-	out := make([]NodeID, 0, len(cands))
-	for _, cand := range cands {
+	for _, cand := range c.gather(c.lanes[0], self.pos) {
 		o := c.radios[cand]
 		if o.id != id && o.pos.Dist2(self.pos) <= r2 {
-			out = append(out, o.id)
+			dst = append(dst, o.id)
 		}
 	}
-	return out
+	return dst
 }
 
 // propagate schedules signal start/end at every radio that hears the

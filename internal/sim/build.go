@@ -229,9 +229,7 @@ func Build(sc Scenario, opts Options) (*Sim, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, pos := range topo.Positions {
-		ch.AddRadio(pos, nil)
-	}
+	ch.AddRadios(topo.Positions)
 
 	// Partitioned kernel: split large static scenarios into per-region
 	// event queues (DESIGN.md §14). The layout depends only on the
@@ -333,6 +331,13 @@ func Build(sc Scenario, opts Options) (*Sim, error) {
 		parts:     scheds,
 		workers:   opts.Workers,
 	}
+	// Per-node assembly is allocation-lean (DESIGN.md §15): MAC nodes
+	// come from one backing array, and each node's neighbor list is
+	// carved from one shared append-grown backing (capped subslices whose
+	// ownership transfers to the traffic source), so the loop costs O(1)
+	// allocations per node at any N.
+	nodeBacking := make([]mac.Node, ch.NumRadios())
+	var nbBack []phy.NodeID
 	for i := 0; i < ch.NumRadios(); i++ {
 		id := phy.NodeID(i)
 		// Every node lives entirely on its partition's scheduler: its MAC
@@ -344,7 +349,9 @@ func Build(sc Scenario, opts Options) (*Sim, error) {
 			nodeSched = scheds[plan.laneOf[i]]
 		}
 		var src mac.Source = traffic.Empty{}
-		if nbs := ch.Neighbors(id); len(nbs) > 0 {
+		start := len(nbBack)
+		nbBack = ch.NeighborsAppend(id, nbBack)
+		if nbs := nbBack[start:len(nbBack):len(nbBack)]; len(nbs) > 0 {
 			src, err = buildSource(TrafficEnv{
 				Sched: nodeSched, Rand: nodeSched.Rand(), Neighbors: nbs, Spec: trafficSpec,
 			})
@@ -356,8 +363,8 @@ func Build(sc Scenario, opts Options) (*Sim, error) {
 		if delayRes != nil && i < topo.InnerCount() {
 			nodeCfg.OnDelivery = func(d des.Time) { delayRes.Add(d.Seconds()) }
 		}
-		s.Nodes[i], err = mac.New(nodeSched, ch.Radio(id), tables[i], src, nodeCfg)
-		if err != nil {
+		s.Nodes[i] = &nodeBacking[i]
+		if err := mac.NewInto(s.Nodes[i], nodeSched, ch.Radio(id), tables[i], src, nodeCfg); err != nil {
 			return nil, err
 		}
 		if sd, ok := src.(SelfDriven); ok {

@@ -34,7 +34,10 @@ type TrafficEnv struct {
 	Rand *rand.Rand
 	// Neighbors are the node's in-range peers (never empty; nodes
 	// without neighbors get an empty source without consulting the
-	// builder).
+	// builder). Ownership transfers to the builder: the slice is stable
+	// for the life of the run and never reused by the caller, so a source
+	// may retain it without copying (Build carves one per node from a
+	// shared backing array).
 	Neighbors []phy.NodeID
 	// Spec is the scenario's traffic section with defaults resolved
 	// (PacketBytes and QueueCap filled in).
@@ -210,7 +213,9 @@ func buildGrid(rng *rand.Rand, sc Scenario) (*topology.Topology, error) {
 	// Density N per πR² disk → lattice spacing R·√(π/N).
 	spacing := cfg.Radius * math.Sqrt(math.Pi/float64(cfg.N))
 	bound := float64(cfg.Rings) * cfg.Radius
-	var positions []geom.Point
+	// The lattice fills the field disk at density N per coverage disk, so
+	// ~Rings²·N points survive the clip — pre-size for them.
+	positions := make([]geom.Point, 0, cfg.TotalNodes())
 	steps := int(bound/spacing) + 1
 	for ix := -steps; ix <= steps; ix++ {
 		for iy := -steps; iy <= steps; iy++ {
@@ -262,15 +267,16 @@ func sortInsideOut(ps []geom.Point) {
 	})
 }
 
-// buildSaturated is the paper's always-backlogged source.
+// buildSaturated is the paper's always-backlogged source. Env neighbor
+// slices are owned by the builder (see TrafficEnv), so no copy.
 func buildSaturated(env TrafficEnv) (mac.Source, error) {
-	return traffic.NewSaturated(env.Rand, env.Neighbors, env.Spec.PacketBytes)
+	return traffic.NewSaturatedOwned(env.Rand, env.Neighbors, env.Spec.PacketBytes)
 }
 
 // buildCBR paces arrivals at the spec's offered load.
 func buildCBR(env TrafficEnv) (mac.Source, error) {
 	interval := des.Time(float64(env.Spec.PacketBytes*8) / env.Spec.OfferedLoadBps * float64(des.Second))
-	return traffic.NewCBR(env.Sched, env.Rand, env.Neighbors, traffic.CBRConfig{
+	return traffic.NewCBROwned(env.Sched, env.Rand, env.Neighbors, traffic.CBRConfig{
 		Interval: interval, Bytes: env.Spec.PacketBytes, QueueCap: env.Spec.QueueCap,
 	})
 }

@@ -141,6 +141,12 @@ type TelemetrySpec struct {
 	// Metrics restricts the registered instruments to the named subset
 	// (see TelemetryMetricNames for the catalog); empty registers all.
 	Metrics []string `json:"metrics,omitempty"`
+	// MaxNodes bounds per-node series cardinality: when positive and
+	// below the inner-node count, only a deterministic sample of that
+	// many inner nodes emits per-node records (selection is seeded from
+	// the scenario, so exports stay byte-reproducible). Aggregate records
+	// always cover every inner node exactly. Zero means no bound.
+	MaxNodes int `json:"maxNodes,omitempty"`
 }
 
 // Enabled reports whether the spec turns telemetry on.
@@ -337,6 +343,12 @@ func (sc Scenario) validateTelemetry() error {
 	}
 	if len(sc.Telemetry.Metrics) > 0 && sc.Telemetry.Interval == 0 {
 		return fmt.Errorf("sim: telemetry.metrics: set but telemetry.interval is zero (telemetry disabled)")
+	}
+	if sc.Telemetry.MaxNodes < 0 {
+		return fmt.Errorf("sim: telemetry.maxNodes: must be non-negative, got %d", sc.Telemetry.MaxNodes)
+	}
+	if sc.Telemetry.MaxNodes > 0 && sc.Telemetry.Interval == 0 {
+		return fmt.Errorf("sim: telemetry.maxNodes: set but telemetry.interval is zero (telemetry disabled)")
 	}
 	for _, name := range sc.Telemetry.Metrics {
 		if !knownTelemetryMetric(name) {

@@ -186,6 +186,11 @@ func TestValidateErrors(t *testing.T) {
 			sc.Telemetry.Interval = Duration(10 * 1e6)
 			sc.Telemetry.Metrics = []string{"mac/unheard-of"}
 		}, "telemetry.metrics"},
+		{"negative telemetry maxNodes", func(sc *Scenario) {
+			sc.Telemetry.Interval = Duration(10 * 1e6)
+			sc.Telemetry.MaxNodes = -1
+		}, "telemetry.maxNodes"},
+		{"maxNodes without interval", func(sc *Scenario) { sc.Telemetry.MaxNodes = 4 }, "telemetry.maxNodes"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -13,6 +13,7 @@ package sim
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/des"
 	"repro/internal/mac"
@@ -20,6 +21,11 @@ import (
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
+
+// telemetrySampleSeed salts the scenario seed for the per-node sample
+// draw, so bounding cardinality never perturbs topology or protocol
+// randomness (which use Seed and Seed^0x5eed respectively).
+const telemetrySampleSeed = 0x7e1e6e7a
 
 // Canonical metric names. The catalog is the validation contract for
 // Scenario.Telemetry.Metrics and the registration-order contract for
@@ -103,6 +109,12 @@ type telemetryCollector struct {
 	prevT    des.Time
 	cums     []float64 // scratch: per-inner-node cumulative throughput
 
+	// exported gates per-node records when the scenario bounds series
+	// cardinality (telemetry.maxNodes); nil exports every inner node.
+	// Aggregates are computed over all inner nodes either way.
+	exported []bool
+	nSampled int // nodes emitting records; 0 when unbounded
+
 	err error // first sink error; surfaced by finish
 }
 
@@ -115,6 +127,24 @@ func newTelemetryCollector(sc Scenario, sink telemetry.Sink, innerCount int) (*t
 		interval: des.Time(sc.Telemetry.Interval),
 		prevBits: make([]int64, innerCount),
 		cums:     make([]float64, innerCount),
+	}
+	if k := sc.Telemetry.MaxNodes; k > 0 && k < innerCount {
+		// Deterministic sample of k inner nodes: a partial Fisher-Yates
+		// over the index range, seeded only from the scenario, so the
+		// same scenario always exports the same node set regardless of
+		// sink, shard or worker count.
+		rng := rand.New(rand.NewSource(sc.Seed ^ telemetrySampleSeed))
+		idx := make([]int, innerCount)
+		for i := range idx {
+			idx[i] = i
+		}
+		c.exported = make([]bool, innerCount)
+		for i := 0; i < k; i++ {
+			j := i + rng.Intn(innerCount-i)
+			idx[i], idx[j] = idx[j], idx[i]
+			c.exported[idx[i]] = true
+		}
+		c.nSampled = k
 	}
 	var keep map[string]bool
 	if len(sc.Telemetry.Metrics) > 0 {
@@ -165,15 +195,16 @@ func newTelemetryCollector(sc Scenario, sink telemetry.Sink, innerCount int) (*t
 // header renders the export header for a run of s.
 func (c *telemetryCollector) header(s *Sim, duration des.Time) telemetry.Header {
 	return telemetry.Header{
-		Format:     telemetry.FormatV1,
-		Scenario:   s.Scenario.Name,
-		Scheme:     s.Scenario.Scheme,
-		Seed:       s.Scenario.Seed,
-		Nodes:      len(s.Nodes),
-		InnerNodes: s.Topology.InnerCount(),
-		IntervalNs: int64(c.interval),
-		DurationNs: int64(duration),
-		Metrics:    c.reg.Names(),
+		Format:       telemetry.FormatV1,
+		Scenario:     s.Scenario.Name,
+		Scheme:       s.Scenario.Scheme,
+		Seed:         s.Scenario.Seed,
+		Nodes:        len(s.Nodes),
+		InnerNodes:   s.Topology.InnerCount(),
+		IntervalNs:   int64(c.interval),
+		DurationNs:   int64(duration),
+		Metrics:      c.reg.Names(),
+		SampledNodes: c.nSampled,
 	}
 }
 
@@ -197,8 +228,10 @@ func (c *telemetryCollector) startSampling(s *Sim, duration des.Time) error {
 	return nil
 }
 
-// sample emits one per-node record per inner node plus one aggregate
-// record. All floats use the same expressions as Result collection:
+// sample emits one per-node record per exported inner node (all of
+// them, or the deterministic telemetry.maxNodes sample) plus one
+// aggregate record covering every inner node exactly. All floats use
+// the same expressions as Result collection:
 // cumulative throughput is BitsAcked divided by elapsed seconds, the
 // aggregate is the plain mean in node-index order, and fairness is
 // stats.JainIndex over the cumulative series.
@@ -220,7 +253,7 @@ func (c *telemetryCollector) sample(s *Sim, now des.Time) {
 		instSum += inst
 		cumSum += cum
 		collSum += coll
-		if c.err == nil {
+		if c.err == nil && (c.exported == nil || c.exported[i]) {
 			c.err = c.sink.WriteRecord(telemetry.Record{
 				Kind: telemetry.KindNode, T: t, Node: i,
 				ThroughputBps: inst, CumThroughputBps: cum, CollisionRatio: coll,

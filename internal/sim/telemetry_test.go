@@ -186,6 +186,77 @@ func TestTelemetryMetricsFilter(t *testing.T) {
 	}
 }
 
+// TestTelemetryMaxNodesBounded pins the cardinality bound: with
+// telemetry.maxNodes = k the export carries exactly k per-node series
+// (a deterministic, seed-derived sample), the header reports the count,
+// and the aggregate records stay bit-identical to the unbounded run
+// because they are computed over every inner node regardless.
+func TestTelemetryMaxNodesBounded(t *testing.T) {
+	sc := telemetryScenario(t)
+	const k = 3
+	if inner := sc.Topology.N; inner <= k {
+		t.Fatalf("test scenario too small: %d inner nodes", inner)
+	}
+	full := telemetry.NewBuffer()
+	if _, err := RunScenario(sc, Options{Telemetry: full}); err != nil {
+		t.Fatal(err)
+	}
+	sc.Telemetry.MaxNodes = k
+	run := func() *telemetry.Buffer {
+		buf := telemetry.NewBuffer()
+		if _, err := RunScenario(sc, Options{Telemetry: buf}); err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Records(), b.Records()) {
+		t.Error("bounded exports differ between identical runs")
+	}
+	if got := a.Header().SampledNodes; got != k {
+		t.Errorf("header sampledNodes = %d, want %d", got, k)
+	}
+	if full.Header().SampledNodes != 0 {
+		t.Errorf("unbounded header sampledNodes = %d, want 0", full.Header().SampledNodes)
+	}
+	nodes := make(map[int]bool)
+	var aggs []telemetry.Record
+	for _, r := range a.Records() {
+		switch r.Kind {
+		case telemetry.KindNode:
+			nodes[r.Node] = true
+		case telemetry.KindAgg:
+			aggs = append(aggs, r)
+		}
+	}
+	if len(nodes) != k {
+		t.Errorf("export carries %d node series, want %d", len(nodes), k)
+	}
+	// Every bounded node record must match the unbounded run's record for
+	// the same (t, node), and the aggregates must match bit-for-bit.
+	var fullAggs []telemetry.Record
+	fullNode := make(map[[2]int64]telemetry.Record)
+	for _, r := range full.Records() {
+		switch r.Kind {
+		case telemetry.KindNode:
+			fullNode[[2]int64{r.T, int64(r.Node)}] = r
+		case telemetry.KindAgg:
+			fullAggs = append(fullAggs, r)
+		}
+	}
+	if !reflect.DeepEqual(aggs, fullAggs) {
+		t.Error("bounding per-node cardinality changed the aggregate records")
+	}
+	for _, r := range a.Records() {
+		if r.Kind != telemetry.KindNode {
+			continue
+		}
+		if want, ok := fullNode[[2]int64{r.T, int64(r.Node)}]; !ok || !reflect.DeepEqual(r, want) {
+			t.Errorf("bounded node record %+v differs from unbounded run", r)
+		}
+	}
+}
+
 // TestTelemetryBypassesCache: a telemetry-enabled scenario must never be
 // served from the result cache — the export is a side effect a cached
 // Result cannot replay.

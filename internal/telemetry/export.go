@@ -56,6 +56,10 @@ type Header struct {
 	DurationNs int64 `json:"durationNs"`
 	// Metrics lists the registered metric names in registration order.
 	Metrics []string `json:"metrics,omitempty"`
+	// SampledNodes is the number of inner nodes emitting per-node
+	// records when the scenario bounds series cardinality
+	// (telemetry.maxNodes); 0 means every inner node is exported.
+	SampledNodes int `json:"sampledNodes,omitempty"`
 	// Shards is the number of merged shards (0 or 1 for a single run).
 	Shards int `json:"shards,omitempty"`
 }

@@ -39,17 +39,29 @@ type Saturated struct {
 var _ mac.Source = (*Saturated)(nil)
 
 // NewSaturated builds a saturated source choosing destinations uniformly
-// from neighbors. The neighbor list must be non-empty.
+// from neighbors. The neighbor list must be non-empty; it is copied, so
+// the caller may reuse the slice.
 func NewSaturated(rng *rand.Rand, neighbors []phy.NodeID, bytes int) (*Saturated, error) {
+	if len(neighbors) == 0 {
+		return nil, fmt.Errorf("traffic: saturated source needs at least one neighbor")
+	}
+	cp := make([]phy.NodeID, len(neighbors))
+	copy(cp, neighbors)
+	return NewSaturatedOwned(rng, cp, bytes)
+}
+
+// NewSaturatedOwned is NewSaturated without the defensive copy: the
+// caller transfers ownership of the neighbors slice. Bulk assembly
+// (sim.Build) carves per-node neighbor slices from one shared backing
+// array and hands them over through here.
+func NewSaturatedOwned(rng *rand.Rand, neighbors []phy.NodeID, bytes int) (*Saturated, error) {
 	if len(neighbors) == 0 {
 		return nil, fmt.Errorf("traffic: saturated source needs at least one neighbor")
 	}
 	if bytes <= 0 {
 		return nil, fmt.Errorf("traffic: packet size must be positive, got %d", bytes)
 	}
-	cp := make([]phy.NodeID, len(neighbors))
-	copy(cp, neighbors)
-	return &Saturated{rng: rng, neighbors: cp, bytes: bytes}, nil
+	return &Saturated{rng: rng, neighbors: neighbors, bytes: bytes}, nil
 }
 
 // Dequeue always returns a packet (the queue never empties).
@@ -95,18 +107,28 @@ type CBRConfig struct {
 }
 
 // NewCBR builds a paced source. Call Start to begin arrivals and SetKick
-// to connect the owning MAC node's Kick method.
+// to connect the owning MAC node's Kick method. The neighbor list is
+// copied, so the caller may reuse the slice.
 func NewCBR(sched *des.Scheduler, rng *rand.Rand, neighbors []phy.NodeID, cfg CBRConfig) (*CBR, error) {
+	if len(neighbors) == 0 {
+		return nil, fmt.Errorf("traffic: CBR source needs at least one neighbor")
+	}
+	cp := make([]phy.NodeID, len(neighbors))
+	copy(cp, neighbors)
+	return NewCBROwned(sched, rng, cp, cfg)
+}
+
+// NewCBROwned is NewCBR without the defensive copy: the caller transfers
+// ownership of the neighbors slice (see NewSaturatedOwned).
+func NewCBROwned(sched *des.Scheduler, rng *rand.Rand, neighbors []phy.NodeID, cfg CBRConfig) (*CBR, error) {
 	if len(neighbors) == 0 {
 		return nil, fmt.Errorf("traffic: CBR source needs at least one neighbor")
 	}
 	if cfg.Interval <= 0 || cfg.Bytes <= 0 || cfg.QueueCap <= 0 {
 		return nil, fmt.Errorf("traffic: invalid CBR config %+v", cfg)
 	}
-	cp := make([]phy.NodeID, len(neighbors))
-	copy(cp, neighbors)
 	return &CBR{
-		sched: sched, rng: rng, neighbors: cp,
+		sched: sched, rng: rng, neighbors: neighbors,
 		interval: cfg.Interval, bytes: cfg.Bytes, queueCap: cfg.QueueCap,
 	}, nil
 }
