@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build lint lint-budget lint-extra test bench bench-smoke bench-compare fmt-check scenarios sweep-cached telemetry-smoke fastforward-smoke parallel-smoke scale-smoke
+.PHONY: all build lint lint-budget lint-extra test bench bench-smoke bench-compare fmt-check scenarios sweep-cached telemetry-smoke fastforward-smoke parallel-smoke scale-smoke simd-smoke
 
 all: build lint test
 
@@ -119,6 +119,43 @@ scale-smoke:
 	elapsed=$$((end - start)); \
 	echo "scale-smoke took $${elapsed}s (budget 120s)"; \
 	if [ $$elapsed -gt 120 ]; then echo "scale-smoke exceeded the 120s budget"; exit 1; fi
+
+# Daemon end-to-end smoke: boot cmd/simd on a random port, POST a
+# committed scenario and byte-compare the served body against a local
+# `netsim -scenario ... -json` run (the service's correctness gate: all
+# three serve paths — fresh run, cache hit, coalesced — must produce
+# identical bytes). A repeat POST must be a cache hit with the stats
+# counters to prove it, a telemetry stream must pipe straight into
+# `simtrace summarize -`, and SIGTERM must drain and exit 0.
+simd-smoke:
+	@set -e; \
+	rm -rf .simd-smoke; mkdir -p .simd-smoke; \
+	$(GO) build -o .simd-smoke/simd ./cmd/simd; \
+	$(GO) build -o .simd-smoke/netsim ./cmd/netsim; \
+	$(GO) build -o .simd-smoke/simtrace ./cmd/simtrace; \
+	.simd-smoke/simd -addr 127.0.0.1:0 -cache .simd-smoke/cache > .simd-smoke/log 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	i=0; until grep -q 'listening on' .simd-smoke/log 2>/dev/null; do \
+		i=$$((i + 1)); [ $$i -le 100 ] || { echo "simd never became ready:"; cat .simd-smoke/log; exit 1; }; \
+		sleep 0.1; \
+	done; \
+	addr=$$(sed -n 's/^simd: listening on //p' .simd-smoke/log); \
+	echo "simd up at $$addr"; \
+	.simd-smoke/netsim -scenario internal/sim/testdata/paper-drts-dcts.json -json > .simd-smoke/local.json; \
+	curl -sf -X POST --data-binary @internal/sim/testdata/paper-drts-dcts.json "http://$$addr/v1/runs" > .simd-smoke/served1.json; \
+	cmp .simd-smoke/local.json .simd-smoke/served1.json; \
+	curl -sf -X POST --data-binary @internal/sim/testdata/paper-drts-dcts.json "http://$$addr/v1/runs" > .simd-smoke/served2.json; \
+	cmp .simd-smoke/local.json .simd-smoke/served2.json; \
+	echo "served bytes match local run (fresh and cached)"; \
+	curl -sf "http://$$addr/v1/stats" > .simd-smoke/stats.json; \
+	grep -q '"cacheMisses":1' .simd-smoke/stats.json || { echo "stats lack the first-run miss:"; cat .simd-smoke/stats.json; exit 1; }; \
+	grep -q '"cacheHits":1' .simd-smoke/stats.json || { echo "stats lack the repeat-POST hit:"; cat .simd-smoke/stats.json; exit 1; }; \
+	grep -q '"executed":1' .simd-smoke/stats.json || { echo "stats show re-execution on the repeat POST:"; cat .simd-smoke/stats.json; exit 1; }; \
+	curl -sf -X POST --data-binary @internal/sim/testdata/telemetry-trajectory.json "http://$$addr/v1/runs?telemetry=1" | .simd-smoke/simtrace summarize -; \
+	kill -TERM $$pid; wait $$pid; \
+	trap - EXIT; \
+	echo "simd-smoke passed (graceful shutdown exited 0)"; \
+	rm -rf .simd-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -10,9 +10,12 @@ package repro
 // ratios) via b.ReportMetric so a bench run doubles as a results table.
 
 import (
+	"bytes"
 	"io"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"repro/internal/cache"
@@ -22,6 +25,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/numeric"
 	"repro/internal/phy"
+	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -729,4 +733,67 @@ func BenchmarkAdaptiveRTS(b *testing.B) {
 			b.ReportMetric(last/1000, "Kbps/node")
 		})
 	}
+}
+
+// BenchmarkServedScenario measures the simulation-as-a-service path
+// through the full HTTP handler stack (real httptest transport, not a
+// direct handler call): cold is a POST that executes the run, warm is
+// the same POST served from the content-addressed cache — the latency
+// a dedup'd client actually sees. The warm loop asserts it never
+// re-executed.
+func BenchmarkServedScenario(b *testing.B) {
+	sc := sim.Scenario{
+		Scheme:       "DRTS-DCTS",
+		BeamwidthDeg: 90,
+		Seed:         1,
+		Duration:     sim.Duration(100 * des.Millisecond),
+		Topology:     sim.TopologySpec{N: 3},
+	}
+	spec, err := sim.MarshalScenario(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func(b *testing.B, url string) {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(spec))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("POST status %d", resp.StatusCode)
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		// No cache: every sequential POST runs the simulation, so each
+		// iteration pays parse + validate + key + queue + run + encode.
+		srv := server.New(server.Config{})
+		ts := httptest.NewServer(srv.Handler())
+		defer func() { ts.Close(); srv.Close() }()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, ts.URL+"/v1/runs")
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		store, err := cache.NewStore(b.TempDir(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := server.New(server.Config{Cache: store})
+		ts := httptest.NewServer(srv.Handler())
+		defer func() { ts.Close(); srv.Close() }()
+		post(b, ts.URL+"/v1/runs") // populate
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, ts.URL+"/v1/runs")
+		}
+		b.StopTimer()
+		if st := srv.Stats(); st.Executed != 1 {
+			b.Fatalf("warm loop re-executed the scenario (%+v)", st)
+		}
+	})
 }

@@ -54,6 +54,7 @@ func run(args []string) error {
 		oracle       = fs.Bool("oracle-nav", false, "ablation: oracle virtual carrier sensing")
 		noEIFS       = fs.Bool("no-eifs", false, "ablation: disable EIFS deference")
 		adaptive     = fs.Duration("adaptive-rts", 0, "adaptive RTS staleness threshold (0 = off)")
+		jsonOut      = fs.Bool("json", false, "print the canonical Result JSON instead of the text report (single-topology mode; the bytes cmd/simd serves)")
 		verbose      = fs.Bool("verbose", false, "print per-node stats (single-topology mode)")
 		traceN       = fs.Int("trace", 0, "print the last N protocol trace events (single-topology mode)")
 		telPath      = fs.String("telemetry", "", "write a telemetry JSONL export to FILE (\"-\" for stdout); analyze with simtrace")
@@ -137,6 +138,10 @@ func run(args []string) error {
 	}
 	dur := des.Time(sc.Duration)
 
+	if *jsonOut && *topos > 1 {
+		return fmt.Errorf("-json reports a single run; it cannot aggregate -topologies %d", *topos)
+	}
+
 	if *topos > 1 {
 		runner := sim.Runner{Workers: *workers}
 		if telSink != nil {
@@ -167,6 +172,20 @@ func run(args []string) error {
 	res, err := sim.RunScenario(sc, opts)
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		// The canonical encoding plus one newline: byte-identical to the
+		// body cmd/simd serves for the same spec (and to the cache
+		// payload), so `cmp` against a daemon response is the correctness
+		// gate of the service.
+		payload, err := sim.EncodeResult(res)
+		if err != nil {
+			return err
+		}
+		if _, err := os.Stdout.Write(append(payload, '\n')); err != nil {
+			return err
+		}
+		return nil
 	}
 	fmt.Printf("%s N=%d θ=%g° seed=%d (%v):\n", scheme, sc.Topology.N, sc.BeamwidthDeg, sc.Seed, dur)
 	fmt.Printf("  mean inner throughput  %.1f Kb/s\n", res.MeanThroughputBps()/1000)

@@ -155,3 +155,46 @@ func TestRunBadFlags(t *testing.T) {
 		t.Error("unknown flag should fail")
 	}
 }
+
+// TestRunJSON pins the -json contract: the printed bytes are exactly
+// sim.EncodeResult of the run plus one newline — the same body cmd/simd
+// serves for the same spec, which is what makes `cmp` between the two a
+// meaningful gate (make simd-smoke).
+func TestRunJSON(t *testing.T) {
+	sc := sim.Scenario{
+		Scheme:       "DRTS-DCTS",
+		BeamwidthDeg: 60,
+		Seed:         5,
+		Duration:     sim.Duration(40e6),
+		Topology:     sim.TopologySpec{N: 2},
+	}
+	spec, err := sim.MarshalScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := os.WriteFile(path, spec, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"-scenario", path, "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunScenario(sc, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := sim.EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := string(payload) + "\n"; out != want {
+		t.Errorf("-json output is not the canonical encoding:\n got %q\nwant %q", out, want)
+	}
+
+	if err := run([]string{"-scenario", path, "-json", "-topologies", "2"}); err == nil {
+		t.Error("-json with -topologies 2: want error (single-run contract)")
+	}
+}

@@ -7,6 +7,12 @@
 //	simtrace filter -node 2 -kind node run.jsonl > node2.jsonl
 //	simtrace filter -from 100ms -to 200ms trace.jsonl
 //
+// The input file may be "-" (or omitted) to read the stream from
+// stdin, so exports pipe straight out of a live source:
+//
+//	netsim -scheme drts-dcts -n 5 -beam 60 -telemetry - | simtrace summarize -
+//	curl -s -X POST --data-binary @run.json 'http://127.0.0.1:8080/v1/runs?telemetry=1' | simtrace summarize -
+//
 // summarize reads a telemetry export and reports the end-of-run
 // aggregates — bit-identical to the experiment's own output, because
 // the final record carries the very floats the simulator computed — and

@@ -192,6 +192,73 @@ func TestSummarizeTraceEvents(t *testing.T) {
 	}
 }
 
+// TestSummarizeStdin pipes a recorded export through stdin (the "-"
+// input path): the output must be byte-identical to reading the same
+// export from a file. This is the seam `curl ... | simtrace summarize -`
+// relies on.
+func TestSummarizeStdin(t *testing.T) {
+	_, raw := export(t)
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var fromFile bytes.Buffer
+	if err := run([]string{"summarize", path}, &fromFile); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, args := range map[string][]string{
+		"dash":    {"summarize", "-"},
+		"no file": {"summarize"},
+	} {
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := os.Stdin
+		os.Stdin = r
+		go func() {
+			w.Write(raw)
+			w.Close()
+		}()
+		var fromStdin bytes.Buffer
+		runErr := run(args, &fromStdin)
+		os.Stdin = orig
+		r.Close()
+		if runErr != nil {
+			t.Fatalf("%s: %v", name, runErr)
+		}
+		if !bytes.Equal(fromStdin.Bytes(), fromFile.Bytes()) {
+			t.Errorf("%s: stdin summary differs from file summary:\n%s\nvs\n%s",
+				name, fromStdin.String(), fromFile.String())
+		}
+	}
+
+	// filter over stdin must preserve bytes exactly like the file path.
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdin
+	os.Stdin = r
+	go func() {
+		w.Write(raw)
+		w.Close()
+	}()
+	var filtered bytes.Buffer
+	runErr := run([]string{"filter", "-kind", "agg", "-"}, &filtered)
+	os.Stdin = orig
+	r.Close()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if _, recs, err := telemetry.ReadAll(bytes.NewReader(filtered.Bytes())); err != nil {
+		t.Fatalf("stdin-filtered output is not a valid export: %v", err)
+	} else if len(recs) == 0 {
+		t.Error("stdin filter dropped every aggregate record")
+	}
+}
+
 func TestRunBadInput(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(nil, &out); err == nil {

@@ -8,7 +8,15 @@
 // only to the simulation packages — the packages whose code runs inside
 // a simulation and therefore must be bit-reproducible — plus the cmd/
 // tree, whose CLIs drive simulations and must not smuggle wall-clock
-// time or global randomness into them. The hotpath and timerhandle
+// time or global randomness into them. That includes daemon-shaped
+// commands like cmd/simd: serving loops in cmd/ get no exemption, which
+// keeps the pressure on to put wall-clock plumbing where it belongs.
+// That place is repro/internal/server, deliberately absent from
+// SimPackages: it is serving infrastructure that runs *around*
+// simulations (drain deadlines, Retry-After hints, connection
+// lifetimes), never inside them, so wall-clock time and goroutines are
+// legitimate there and reproducibility of what it serves is enforced in
+// the sim packages it calls into. The hotpath and timerhandle
 // analyzers run module-wide: hotpath only triggers on annotated
 // functions, and a *des.Timer is a contract violation wherever it
 // appears.

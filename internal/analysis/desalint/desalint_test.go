@@ -105,11 +105,16 @@ func TestBadModuleIsCaught(t *testing.T) {
 		t.Fatalf("desalint failed on bad module: %v", err)
 	}
 	got := map[string]int{}
-	fromTool := 0
+	fromTool, fromServed, fromServer := 0, 0, 0
 	for _, d := range diags {
 		got[d.Analyzer]++
-		if filepath.Base(filepath.Dir(d.Pos.Filename)) == "tool" {
+		switch filepath.Base(filepath.Dir(d.Pos.Filename)) {
+		case "tool":
 			fromTool++
+		case "served":
+			fromServed++
+		case "server":
+			fromServer++
 		}
 	}
 	// cmd packages are in scope for the reproducibility rules: the
@@ -117,8 +122,18 @@ func TestBadModuleIsCaught(t *testing.T) {
 	if fromTool != 3 {
 		t.Errorf("cmd/tool: %d diagnostic(s), want 3 (wallclock + 2 globalrand)", fromTool)
 	}
+	// A daemon-shaped cmd is still a cmd: its wall-clock read is caught
+	// exactly once, not excused by looking like serving infrastructure.
+	if fromServed != 1 {
+		t.Errorf("cmd/served: %d diagnostic(s), want exactly 1 (wallclock)", fromServed)
+	}
+	// internal/server is outside SimPackages by design — its wall-clock
+	// use is daemon plumbing, not simulation code — so nothing fires.
+	if fromServer != 0 {
+		t.Errorf("internal/server: %d diagnostic(s), want 0 (out of scope)", fromServer)
+	}
 	want := map[string]int{
-		"wallclock":   2, // phy time.Now, cmd/tool time.Now
+		"wallclock":   3, // phy time.Now, cmd/tool time.Now, cmd/served time.Now
 		"globalrand":  4, // phy rand.Seed + rand.Int63, cmd/tool rand.Seed + rand.Int
 		"maporder":    1, // float accumulation
 		"hotpath":     1, // fmt.Sprintf in marked function

@@ -1,0 +1,15 @@
+// Command served is a daemon-shaped CLI (think cmd/simd): an HTTP-ish
+// serving loop around the simulator. Serving infrastructure in cmd/ is
+// still in scope for the reproducibility rules — the wall-clock read
+// below must be flagged exactly once, same as in any other cmd package.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now() // wallclock: in scope even in a server-like cmd
+	fmt.Println("serving since", start)
+}

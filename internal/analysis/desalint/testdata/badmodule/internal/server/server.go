@@ -1,0 +1,14 @@
+// Package server mirrors the real repro/internal/server: serving
+// infrastructure that runs *around* simulations, never inside them, and
+// therefore sits outside desalint's SimPackages. The wall-clock read
+// below is legitimate daemon code and must NOT be flagged — the scoping
+// test pins that no diagnostic comes from this package.
+package server
+
+import "time"
+
+// Uptime is the kind of wall-clock arithmetic a daemon legitimately
+// does (drain deadlines, Retry-After hints) and a simulation never may.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}

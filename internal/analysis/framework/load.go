@@ -68,6 +68,11 @@ func NewLoader(cfg LoadConfig) (*Loader, error) {
 	// Resolution is by directory; keep go/build away from module-mode
 	// lookups of its own.
 	ctx.GOPATH = ""
+	// Typechecking is from source with no cgo toolchain behind it:
+	// selecting the pure-Go file sets (netgo resolver and friends) keeps
+	// packages like net checkable — cgo-tagged files reference
+	// _C_-prefixed types that only exist after cgo generation.
+	ctx.CgoEnabled = false
 	return &Loader{
 		cfg:  cfg,
 		fset: token.NewFileSet(),

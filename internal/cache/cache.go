@@ -34,6 +34,23 @@ type Key [sha256.Size]byte
 // String returns the hexadecimal form of the key, used as its file name.
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
 
+// ParseKey parses the hexadecimal form back into a Key. It is the
+// inverse of String, so externally quoted keys (cmd/simd's
+// GET /v1/runs/{key} path, file names in a cache directory) resolve to
+// the exact content address they were minted from.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return k, fmt.Errorf("cache: bad key %q: %w", s, err)
+	}
+	if len(b) != len(k) {
+		return k, fmt.Errorf("cache: bad key %q: got %d hex bytes, want %d", s, len(b), len(k))
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
 // KeyBuilder accumulates the input components of a content address.
 // Components are length-prefixed before hashing so that concatenation
 // ambiguity cannot alias two distinct input sets to one key.

@@ -229,3 +229,64 @@ func TestGetReturnsCallerOwnedCopy(t *testing.T) {
 		t.Error("mutating a Get result corrupted the cached entry")
 	}
 }
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	k := testKey("parse", "round", "trip")
+	got, err := ParseKey(k.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != k {
+		t.Errorf("ParseKey(%s) = %s", k, got)
+	}
+	for name, s := range map[string]string{
+		"not hex":   "zz" + k.String()[2:],
+		"too short": k.String()[:10],
+		"too long":  k.String() + "00",
+		"empty":     "",
+	} {
+		if _, err := ParseKey(s); err == nil {
+			t.Errorf("%s: ParseKey(%q) accepted a bad key", name, s)
+		}
+	}
+}
+
+// TestConcurrentSameKeyWaiters hammers ONE key with mixed Get/Put from
+// many goroutines — the access pattern cmd/simd's coalescing layer
+// produces when a burst of identical requests resolves and every waiter
+// turns around and reads the same entry. Under -race this pins the
+// store's concurrent-waiter semantics: every Get returns either a miss
+// or one of the exact payloads some Put wrote, never a torn mix.
+func TestConcurrentSameKeyWaiters(t *testing.T) {
+	s, err := NewStore(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("one", "hot", "key")
+	valid := map[string]bool{}
+	for v := 0; v < 4; v++ {
+		valid[fmt.Sprintf("payload-%d", v)] = true
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if (w+i)%4 == 0 {
+					if err := s.Put(k, []byte(fmt.Sprintf("payload-%d", i%4))); err != nil {
+						t.Errorf("worker %d: %v", w, err)
+						return
+					}
+				} else if got, ok := s.Get(k); ok && !valid[string(got)] {
+					t.Errorf("worker %d: torn read %q", w, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, ok := s.Get(k); !ok || !valid[string(got)] {
+		t.Errorf("final Get = %q, %v; want a valid payload", got, ok)
+	}
+}

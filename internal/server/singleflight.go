@@ -1,0 +1,64 @@
+package server
+
+// Homegrown singleflight (stdlib only), keyed on the scenario's content
+// address. Identical in-flight requests coalesce onto one execution:
+// the first caller for a key becomes the leader and runs the function;
+// everyone else arriving before it finishes blocks on the same call and
+// shares its bytes. The call is removed from the table BEFORE waiters
+// are released, so a failed run never poisons later requests — the next
+// arrival starts a fresh call (and a successful run's bytes are in the
+// result cache by then, so re-coalescing is unnecessary).
+
+import (
+	"sync"
+
+	"repro/internal/cache"
+)
+
+// call is one in-flight execution and the values it resolves to.
+type call struct {
+	done    chan struct{}
+	payload []byte
+	source  string // serveHit or serveRun: how the leader obtained it
+	err     error
+}
+
+// group deduplicates concurrent work by key.
+type group struct {
+	mu sync.Mutex
+	m  map[cache.Key]*call
+
+	// onShare, when set, is invoked each time a caller joins an existing
+	// in-flight call (before blocking). The server wires its coalesced
+	// counter here so tests can observe joins as they happen.
+	onShare func()
+}
+
+// do executes fn once for all concurrent callers of key. It returns
+// fn's payload, a source tag, whether this caller shared another
+// caller's execution, and fn's error.
+func (g *group) do(key cache.Key, fn func() ([]byte, string, error)) (payload []byte, source string, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[cache.Key]*call)
+	}
+	if c, ok := g.m[key]; ok {
+		if g.onShare != nil {
+			g.onShare()
+		}
+		g.mu.Unlock()
+		<-c.done
+		return c.payload, c.source, true, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.payload, c.source, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.payload, c.source, false, c.err
+}

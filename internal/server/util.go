@@ -1,0 +1,25 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+)
+
+// atomicCounter is a monotonic uint64 counter safe for handler
+// concurrency.
+type atomicCounter struct{ v atomic.Uint64 }
+
+func (c *atomicCounter) add(n uint64) { c.v.Add(n) }
+func (c *atomicCounter) load() uint64 { return c.v.Load() }
+
+// writeJSON renders v as a compact JSON body with a trailing newline.
+func writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
+}

@@ -59,10 +59,14 @@ func ScenarioKey(sc Scenario) (cache.Key, error) {
 		Key(), nil
 }
 
-// encodeResult renders the cache payload for a Result. JSON float
-// encoding is shortest-form and round-trips bit-exactly, so a decoded
-// Result re-encodes to the same golden bytes as a fresh one.
-func encodeResult(r *Result) ([]byte, error) {
+// EncodeResult renders the canonical byte form of a Result: compact
+// JSON, no trailing newline. These bytes are both the result-cache
+// payload and the wire format cmd/simd serves, so they are a stable
+// contract: JSON float encoding is shortest-form and round-trips
+// bit-exactly, which makes a decoded Result re-encode to the same
+// golden bytes as a fresh run — and a daemon-served body byte-identical
+// to a local `netsim -scenario ... -json` run of the same spec.
+func EncodeResult(r *Result) ([]byte, error) {
 	b, err := json.Marshal(r)
 	if err != nil {
 		return nil, fmt.Errorf("sim: encode result: %w", err)
@@ -70,8 +74,8 @@ func encodeResult(r *Result) ([]byte, error) {
 	return b, nil
 }
 
-// decodeResult parses a cache payload back into a Result.
-func decodeResult(b []byte) (*Result, error) {
+// DecodeResult parses canonical result bytes back into a Result.
+func DecodeResult(b []byte) (*Result, error) {
 	var r Result
 	if err := json.Unmarshal(b, &r); err != nil {
 		return nil, fmt.Errorf("sim: decode cached result: %w", err)
@@ -97,7 +101,7 @@ func runCached(sc Scenario, opts Options) (*Result, error) {
 		return nil, err
 	}
 	if payload, ok := opts.Cache.Get(key); ok {
-		if res, err := decodeResult(payload); err == nil {
+		if res, err := DecodeResult(payload); err == nil {
 			return res, nil
 		}
 	}
@@ -109,7 +113,7 @@ func runCached(sc Scenario, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if payload, err := encodeResult(res); err == nil {
+	if payload, err := EncodeResult(res); err == nil {
 		_ = opts.Cache.Put(key, payload) // best effort; the result stands
 	}
 	return res, nil

@@ -145,6 +145,55 @@ func (w *Writer) Flush() error {
 	return w.bw.Flush()
 }
 
+// StreamWriter is a Sink that forwards each line the moment it is
+// produced: every header and record is encoded straight to w and then
+// pushed through the flush hook. It is the live-tail counterpart of
+// Writer (which buffers until Flush): cmd/simd uses it to stream an
+// export over a chunked HTTP response while the simulation is still
+// running, with flush set to the connection's http.Flusher.
+type StreamWriter struct {
+	enc   *json.Encoder
+	flush func() error
+	wrote bool
+}
+
+var _ Sink = (*StreamWriter)(nil)
+
+// NewStreamWriter builds a per-record-flushing sink over w. flush is
+// called after every line; nil means w needs no flushing.
+func NewStreamWriter(w io.Writer, flush func() error) *StreamWriter {
+	return &StreamWriter{enc: json.NewEncoder(w), flush: flush}
+}
+
+// Wrote reports whether any line reached w, so a caller layering
+// protocol errors on top (an HTTP handler choosing a status code) knows
+// whether the stream has already started.
+func (s *StreamWriter) Wrote() bool { return s.wrote }
+
+func (s *StreamWriter) emit(v any) error {
+	if err := s.enc.Encode(v); err != nil {
+		return err
+	}
+	s.wrote = true
+	if s.flush != nil {
+		return s.flush()
+	}
+	return nil
+}
+
+// WriteHeader writes and flushes the header line.
+func (s *StreamWriter) WriteHeader(h Header) error {
+	if h.Format == "" {
+		h.Format = FormatV1
+	}
+	return s.emit(h)
+}
+
+// WriteRecord writes and flushes one record line.
+func (s *StreamWriter) WriteRecord(r Record) error {
+	return s.emit(r)
+}
+
 // Buffer is an in-memory Sink, used by tests and by the sharded runner
 // (which merges per-shard buffers before streaming the aggregate).
 type Buffer struct {

@@ -375,3 +375,70 @@ func TestMergeRejectsMismatch(t *testing.T) {
 		t.Error("histogram bounds mismatch: want error")
 	}
 }
+
+// TestStreamWriterFlushesPerLine pins the live-tail contract cmd/simd
+// leans on: every header and record is on the wire (and flushed) the
+// moment it is written, the bytes equal a buffered Writer's output for
+// the same sequence, and Wrote() flips exactly when the first line goes
+// out.
+func TestStreamWriterFlushesPerLine(t *testing.T) {
+	var streamed bytes.Buffer
+	flushes := 0
+	sw := NewStreamWriter(&streamed, func() error { flushes++; return nil })
+	if sw.Wrote() {
+		t.Error("Wrote() true before any line")
+	}
+
+	h := Header{Seed: 9, Nodes: 18, InnerNodes: 2}
+	recs := []Record{
+		{Kind: KindNode, T: 10, Node: 0, ThroughputBps: 1.5},
+		{Kind: KindAgg, T: 10, Node: -1, Jain: 1},
+	}
+	if err := sw.WriteHeader(h); err != nil {
+		t.Fatal(err)
+	}
+	if !sw.Wrote() {
+		t.Error("Wrote() false after the header line")
+	}
+	if flushes != 1 {
+		t.Errorf("flushes after header = %d, want 1", flushes)
+	}
+	afterHeader := streamed.Len()
+	if afterHeader == 0 {
+		t.Error("header not on the wire before any record")
+	}
+	for _, r := range recs {
+		if err := sw.WriteRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if flushes != 1+len(recs) {
+		t.Errorf("flushes = %d, want one per line (%d)", flushes, 1+len(recs))
+	}
+
+	var buffered bytes.Buffer
+	w := NewWriter(&buffered)
+	if err := w.WriteHeader(h); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.WriteRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), buffered.Bytes()) {
+		t.Errorf("streamed bytes differ from buffered bytes:\n%q\nvs\n%q", streamed.Bytes(), buffered.Bytes())
+	}
+
+	// A nil flush hook means "no flushing needed", not a crash.
+	nw := NewStreamWriter(&bytes.Buffer{}, nil)
+	if err := nw.WriteHeader(Header{}); err != nil {
+		t.Fatal(err)
+	}
+	if !nw.Wrote() {
+		t.Error("nil-flush writer did not record the write")
+	}
+}
